@@ -1,0 +1,100 @@
+// Experiment E6 — the append-forest (Section 4.3, Figures 4-2/4-3):
+//   * constant-time append and O(log n) search, measured as wall-clock
+//     throughput with google-benchmark;
+//   * worst-case pointer traversals per search vs n (the paper's
+//     O(log2 n) bound);
+//   * comparison against a std::map index (the non-append-only
+//     alternative a log server cannot use on write-once storage).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common/rng.h"
+#include "forest/append_forest.h"
+
+namespace {
+
+using dlog::forest::AppendForest;
+
+void BM_ForestAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    AppendForest forest;
+    state.ResumeTiming();
+    for (int64_t k = 1; k <= state.range(0); ++k) {
+      benchmark::DoNotOptimize(forest.Append(k, k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForestAppend)->Range(1 << 10, 1 << 18);
+
+void BM_ForestFind(benchmark::State& state) {
+  AppendForest forest;
+  for (int64_t k = 1; k <= state.range(0); ++k) {
+    (void)forest.Append(k, k);
+  }
+  dlog::Rng rng(7);
+  for (auto _ : state) {
+    const uint64_t key = 1 + rng.NextBelow(state.range(0));
+    benchmark::DoNotOptimize(forest.Find(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForestFind)->Range(1 << 10, 1 << 20);
+
+void BM_StdMapInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::map<uint64_t, uint64_t> index;
+    state.ResumeTiming();
+    for (int64_t k = 1; k <= state.range(0); ++k) {
+      index[k] = k;
+    }
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdMapInsert)->Range(1 << 10, 1 << 18);
+
+void BM_StdMapFind(benchmark::State& state) {
+  std::map<uint64_t, uint64_t> index;
+  for (int64_t k = 1; k <= state.range(0); ++k) index[k] = k;
+  dlog::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.find(1 + rng.NextBelow(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdMapFind)->Range(1 << 10, 1 << 20);
+
+void PrintTraversalTable() {
+  std::printf(
+      "\nWorst-case pointer traversals per search (paper: O(log2 n)):\n");
+  std::printf("%12s %14s %14s\n", "n", "worst", "2*log2(n)");
+  for (uint32_t exp = 8; exp <= 20; exp += 2) {
+    const uint64_t n = uint64_t{1} << exp;
+    AppendForest forest;
+    for (uint64_t k = 1; k <= n; ++k) (void)forest.Append(k, k);
+    uint64_t worst = 0;
+    for (uint64_t k = 1; k <= n; k += std::max<uint64_t>(1, n / 4096)) {
+      uint64_t traversals = 0;
+      (void)forest.FindCounted(k, &traversals);
+      worst = std::max(worst, traversals);
+    }
+    std::printf("%12llu %14llu %14u\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(worst), 2 * exp);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintTraversalTable();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Experiment E1 — Figure 3-4: "Availability of Replicated Logs with
+// Probability of Individual Log Server Availability 0.95".
+//
+// Reproduces both curve families (WriteLog availability rising with M,
+// client-initialization availability falling with M) for dual-copy
+// (N = 2) and triple-copy (N = 3) logs, from the closed forms of Section
+// 3.2, cross-checked by Monte-Carlo simulation of independent server
+// failures.
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "analysis/availability.h"
+#include "common/rng.h"
+
+namespace {
+
+struct McResult {
+  double write;
+  double init;
+};
+
+McResult MonteCarlo(int m, int n, double p, int trials, uint64_t seed) {
+  dlog::Rng rng(seed);
+  int write_ok = 0, init_ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    int down = 0;
+    for (int i = 0; i < m; ++i) {
+      if (rng.Bernoulli(p)) ++down;
+    }
+    if (down <= m - n) ++write_ok;
+    if (down <= n - 1) ++init_ok;
+  }
+  return {static_cast<double>(write_ok) / trials,
+          static_cast<double>(init_ok) / trials};
+}
+
+}  // namespace
+
+int main() {
+  const double p = 0.05;
+  const int trials = 400000;
+
+  std::printf("Figure 3-4: availability of replicated logs (p = %.2f)\n\n",
+              p);
+  std::printf("%-3s %-3s | %-22s | %-22s\n", "N", "M",
+              "WriteLog  (exact / MC)", "ClientInit (exact / MC)");
+  std::printf("--------+------------------------+----------------------\n");
+  for (int n : {2, 3}) {
+    for (int m = n; m <= 10; ++m) {
+      const double write = dlog::analysis::WriteLogAvailability(m, n, p);
+      const double init = dlog::analysis::ClientInitAvailability(m, n, p);
+      const McResult mc =
+          MonteCarlo(m, n, p, trials, 1000 + 17 * m + n);
+      std::printf("%-3d %-3d | %.6f / %.6f   | %.6f / %.6f\n", n, m, write,
+                  mc.write, init, mc.init);
+    }
+    std::printf("--------+------------------------+--------------------\n");
+  }
+  std::printf(
+      "\nShape checks (paper):\n"
+      "  * WriteLog availability approaches 1 very quickly as M grows.\n"
+      "  * Client-init availability decreases as M grows.\n"
+      "  * N=2,M=5 init ~ 0.98; N=3,M=5 both ~ 0.999; single server 0.95.\n");
+  return 0;
+}

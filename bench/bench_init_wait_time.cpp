@@ -1,0 +1,151 @@
+// Experiment E12 — the model the paper's Section 3.2 closes by asking
+// for: "In practice, M-N+1 log servers do not have to be simultaneously
+// available to initialize a client process. The client process can poll
+// until it receives responses from enough servers ... Predicting the
+// expected time for client process initialization to complete requires a
+// more complicated model that includes the expected rates of log server
+// failures and the expected times for repair."
+//
+// Each of M servers alternates between up (exponential MTTF) and down
+// (exponential MTTR). We measure, from random restart instants:
+//   * the steady-state fraction of time M-N+1 servers are simultaneously
+//     up (the paper's instantaneous availability, cross-check:
+//     p = MTTR / (MTTF + MTTR));
+//   * the distribution of the time a polling client waits until M-N+1
+//     servers are up (0 when already available).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/availability.h"
+#include "common/rng.h"
+#include "sim/stats.h"
+
+namespace {
+
+using dlog::Rng;
+
+struct WaitResult {
+  double instantaneous;   // fraction of probes with quorum already up
+  double mean_wait_min;   // over probes that had to wait
+  double p95_wait_min;
+  double overall_mean_min;  // including zero waits
+};
+
+// Simulates the M alternating renewal processes and probes them.
+WaitResult Simulate(int m, int n, double mttf_hours, double mttr_minutes,
+                    uint64_t seed) {
+  const double mttf_min = mttf_hours * 60.0;
+  Rng rng(seed);
+  const int need = m - n + 1;
+
+  // Per-server next transition time and state.
+  std::vector<double> next_change(m);
+  std::vector<bool> up(m, true);
+  for (int i = 0; i < m; ++i) {
+    next_change[i] = rng.NextExponential(mttf_min);
+  }
+
+  dlog::sim::Histogram waits;        // minutes, waits > 0 only
+  dlog::sim::Histogram all_waits;
+  int instant_ok = 0;
+  int probes = 0;
+
+  double now = 0;
+  double next_probe = rng.NextExponential(30.0);  // probe ~ every 30 min
+  const double horizon = 10'000'000;              // minutes
+  // Event loop over server transitions and probes. Several probes can be
+  // waiting at once (they sample the same outage independently).
+  std::vector<double> pending_starts;
+  while (now < horizon && probes < 200000) {
+    // Next event: earliest server transition or the probe.
+    int who = -1;
+    double when = next_probe;
+    for (int i = 0; i < m; ++i) {
+      if (next_change[i] < when) {
+        when = next_change[i];
+        who = i;
+      }
+    }
+    now = when;
+    int up_count = 0;
+    for (int i = 0; i < m; ++i) up_count += up[i] ? 1 : 0;
+
+    if (who < 0) {
+      next_probe = now + rng.NextExponential(30.0);
+      // Probe: a client restarts now and polls until `need` are up.
+      ++probes;
+      if (up_count >= need) {
+        ++instant_ok;
+        all_waits.Add(0.0);
+      } else {
+        pending_starts.push_back(now);
+      }
+      continue;
+    }
+    // Server transition.
+    up[who] = !up[who];
+    next_change[who] =
+        now + (up[who] ? rng.NextExponential(mttf_min)
+                       : rng.NextExponential(mttr_minutes));
+    if (!pending_starts.empty()) {
+      int count = 0;
+      for (int i = 0; i < m; ++i) count += up[i] ? 1 : 0;
+      if (count >= need) {
+        for (double start : pending_starts) {
+          const double wait = now - start;
+          waits.Add(wait);
+          all_waits.Add(wait);
+        }
+        pending_starts.clear();
+      }
+    }
+  }
+
+  WaitResult r;
+  r.instantaneous = static_cast<double>(instant_ok) / probes;
+  r.mean_wait_min = waits.Mean();
+  r.p95_wait_min = waits.Percentile(0.95);
+  r.overall_mean_min = all_waits.Mean();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Client-initialization wait-time model (Section 3.2's suggested "
+      "extension)\nServers alternate up/down with exponential MTTF/MTTR; "
+      "clients restart at random instants and poll for M-N+1 up "
+      "servers.\n\n");
+  std::printf("%-4s %-4s %-10s %-10s | %-12s %-12s | %-12s %-12s %-12s\n",
+              "M", "N", "MTTF", "MTTR", "inst (sim)", "inst (calc)",
+              "wait mean", "wait p95", "overall");
+  const double mttf_hours = 38.0;  // p = MTTR/(MTTF+MTTR) = 0.05 at 2h MTTR
+  for (int n : {2, 3}) {
+    for (int m : {3, 5, 7}) {
+      if (n > m) continue;
+      const double mttr_minutes = 120.0;
+      const double p =
+          mttr_minutes / (mttf_hours * 60.0 + mttr_minutes);
+      WaitResult r = Simulate(m, n, mttf_hours, mttr_minutes,
+                              100 + m * 10 + n);
+      const double calc = dlog::analysis::ClientInitAvailability(m, n, p);
+      std::printf(
+          "%-4d %-4d %-10s %-10s | %-12.4f %-12.4f | %8.1f min %8.1f min "
+          "%8.2f min\n",
+          m, n, "38h", "2h", r.instantaneous, calc, r.mean_wait_min,
+          r.p95_wait_min, r.overall_mean_min);
+    }
+  }
+  std::printf(
+      "\nReadings:\n"
+      "  * the instantaneous column reproduces the closed-form Section "
+      "3.2 availability (cross-validation of the renewal model);\n"
+      "  * when a restarting client does have to wait, the wait is "
+      "bounded by repair times (~MTTR/k for k missing servers), so even "
+      "configurations with modest instantaneous availability recover "
+      "quickly — the paper's polling argument quantified.\n");
+  return 0;
+}

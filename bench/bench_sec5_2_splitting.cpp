@@ -1,0 +1,108 @@
+// Experiment E7 — Section 5.2, log record splitting and caching:
+// "The performance improvements possible with log record splitting and
+// caching depend on the size of the cache, and on the length of
+// transactions."
+//
+// Sweeps transaction length (updates per transaction) and the page-clean
+// interval (how often dirty pages are cleaned, which forces cached undo
+// components out to the log) and reports the logged volume with and
+// without splitting. Short transactions and aggressive cleaning erode
+// the saving — the paper's predicted shape.
+
+#include <cstdio>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "tp/engine.h"
+#include "tp/logger.h"
+
+namespace {
+
+using namespace dlog;
+
+struct VolumeResult {
+  uint64_t log_bytes = 0;
+  uint64_t undo_logged = 0;
+};
+
+/// Runs `txns` transactions of `updates_per_txn` 100-byte updates,
+/// cleaning all pages every `clean_every` transactions (0 = never).
+VolumeResult RunWorkload(bool split, int txns, int updates_per_txn,
+                         int clean_every) {
+  sim::Simulator sim;
+  tp::InMemoryTxnLogger logger(&sim);
+  tp::PageDisk disk(1024);
+  tp::EngineConfig cfg;
+  cfg.split_records = split;
+  tp::TransactionEngine engine(&sim, &logger, &disk, cfg);
+
+  for (int t = 0; t < txns; ++t) {
+    Result<tp::TxnId> txn = engine.Begin();
+    if (!txn.ok()) break;
+    for (int u = 0; u < updates_per_txn; ++u) {
+      Bytes data(100, static_cast<uint8_t>('a' + u % 26));
+      (void)engine.Update(*txn, static_cast<tp::PageId>(u % 8), (u / 8) * 100,
+                          std::move(data));
+      // Long transactions see their pages cleaned mid-flight.
+      if (clean_every > 0 && (u + 1) % clean_every == 0) {
+        bool done = false;
+        engine.CleanPages([&](Status) { done = true; });
+        sim.Run();
+        (void)done;
+      }
+    }
+    bool committed = false;
+    engine.Commit(*txn, [&](Status) { committed = true; });
+    sim.Run();
+    if (clean_every > 0 && (t + 1) % clean_every == 0) {
+      bool done = false;
+      engine.CleanPages([&](Status) { done = true; });
+      sim.Run();
+    }
+  }
+  return {engine.log_bytes(), engine.undo_bytes_logged()};
+}
+
+}  // namespace
+
+int main() {
+  const int txns = 200;
+  std::printf(
+      "Section 5.2: logged volume with and without record splitting\n"
+      "(%d transactions of 100-byte updates; 'clean' = pages cleaned "
+      "every k updates, flushing cached undo)\n\n",
+      txns);
+  std::printf("%-10s %-12s | %12s %12s %8s %14s\n", "updates", "cleaning",
+              "plain B", "split B", "saved", "undo logged B");
+  for (int updates : {1, 3, 7, 20, 50}) {
+    for (int clean_every : {0, 25, 5}) {
+      VolumeResult plain =
+          RunWorkload(false, txns, updates, clean_every);
+      VolumeResult split = RunWorkload(true, txns, updates, clean_every);
+      const double saved =
+          100.0 * (1.0 - static_cast<double>(split.log_bytes) /
+                             static_cast<double>(plain.log_bytes));
+      char clean_desc[24];
+      if (clean_every == 0) {
+        std::snprintf(clean_desc, sizeof(clean_desc), "never");
+      } else {
+        std::snprintf(clean_desc, sizeof(clean_desc), "every %d",
+                      clean_every);
+      }
+      std::printf("%-10d %-12s | %12llu %12llu %7.1f%% %14llu\n", updates,
+                  clean_desc,
+                  static_cast<unsigned long long>(plain.log_bytes),
+                  static_cast<unsigned long long>(split.log_bytes), saved,
+                  static_cast<unsigned long long>(split.undo_logged));
+    }
+  }
+  std::printf(
+      "\nShape checks (paper):\n"
+      "  * short transactions: splitting saves little (few records to "
+      "split);\n"
+      "  * frequent cleaning (very long transactions): undo components "
+      "get logged anyway, eroding the saving;\n"
+      "  * the sweet spot is transactions that commit before their pages "
+      "are cleaned.\n");
+  return 0;
+}

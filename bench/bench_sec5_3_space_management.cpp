@@ -1,0 +1,96 @@
+// Experiment E11 — Section 5.3, log space management: "client recovery
+// managers can use checkpoints and other mechanisms to limit the online
+// log storage required for node recovery" vs. the simple strategy where
+// "the online log could simply accumulate between dumps".
+//
+// Runs the same ET1 load with (a) no space management and (b) a
+// quiescent checkpoint + truncation every few seconds, and reports the
+// growth of the online log (live records held by the servers) plus the
+// recovery-scan length after a crash.
+
+#include <cstdio>
+#include <memory>
+
+#include "harness/cluster.h"
+#include "tp/bank.h"
+#include "tp/engine.h"
+#include "tp/logger.h"
+
+namespace {
+
+using namespace dlog;
+
+struct SpaceResult {
+  size_t live_records_end = 0;
+  Lsn end_of_log = 0;
+  double scan_fraction = 0;  // live / end-of-log
+};
+
+SpaceResult Run(bool truncate, int txns, int checkpoint_every) {
+  harness::ClusterConfig cluster_cfg;
+  harness::Cluster cluster(cluster_cfg);
+  client::LogClientConfig log_cfg;
+  log_cfg.client_id = 1;
+  auto log = cluster.MakeClient(log_cfg);
+  bool ready = false;
+  log->Init([&](Status st) { ready = st.ok(); });
+  cluster.RunUntil([&]() { return ready; });
+
+  tp::ReplicatedTxnLogger logger(log.get());
+  tp::PageDisk disk(1024);
+  tp::EngineConfig cfg;
+  cfg.truncate_after_checkpoint = truncate;
+  tp::TransactionEngine engine(&cluster.sim(), &logger, &disk, cfg);
+  tp::BankDb bank(&engine, tp::BankConfig{});
+
+  for (int i = 0; i < txns; ++i) {
+    bool done = false;
+    bank.RunEt1(i % 1000, i % 100, i % 10, 1,
+                [&](Status) { done = true; });
+    cluster.RunUntil([&]() { return done; });
+    if ((i + 1) % checkpoint_every == 0) {
+      bool cleaned = false;
+      engine.CleanPages([&](Status) { cleaned = true; });
+      cluster.RunUntil([&]() { return cleaned; });
+    }
+  }
+  cluster.sim().RunFor(2 * sim::kSecond);
+
+  SpaceResult r;
+  for (int s = 1; s <= 3; ++s) {
+    r.live_records_end += cluster.server(s).LiveRecordsOf(1);
+  }
+  r.end_of_log = log->EndOfLog();
+  r.scan_fraction = static_cast<double>(r.live_records_end / 2) /
+                    static_cast<double>(r.end_of_log);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int txns = 400;
+  std::printf(
+      "Section 5.3: online log size with and without checkpoint-driven "
+      "truncation (%d ET1 transactions, N=2, 3 servers)\n\n",
+      txns);
+  std::printf("%-38s %16s %12s %14s\n", "strategy", "live records",
+              "end of log", "online frac");
+  for (int every : {50, 100}) {
+    SpaceResult keep = Run(false, txns, every);
+    SpaceResult trunc = Run(true, txns, every);
+    std::printf("%-28s (ckpt %3d) %16zu %12llu %13.1f%%\n",
+                "accumulate between dumps", every, keep.live_records_end,
+                static_cast<unsigned long long>(keep.end_of_log),
+                keep.scan_fraction * 100);
+    std::printf("%-28s (ckpt %3d) %16zu %12llu %13.1f%%\n",
+                "checkpoint + truncate", every, trunc.live_records_end,
+                static_cast<unsigned long long>(trunc.end_of_log),
+                trunc.scan_fraction * 100);
+  }
+  std::printf(
+      "\nShape check (paper): without space management the online log "
+      "grows linearly with work (~10 GB/day/server at the target load); "
+      "checkpointing bounds it at the recovery window.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Experiment E5 — the Section 5.6 measurement: "remote logging to virtual
+// memory on two remote servers used less than twice the elapsed time
+// required for local logging to a single disk."
+//
+// Runs the same ET1 transaction stream over three logging designs:
+//   A. replicated remote log, N=2, servers acking from NVRAM
+//      (the paper's stage-2/stage-3 configuration);
+//   B. local logging to a single disk (the paper's comparison point);
+//   C. local duplexed disks (the conventional Gray-style design).
+// Reports per-transaction elapsed time and the remote/local ratio.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/duplexed_logger.h"
+#include "harness/cluster.h"
+#include "harness/et1_driver.h"
+#include "tp/bank.h"
+#include "tp/engine.h"
+
+namespace {
+
+using namespace dlog;
+
+struct RunStats {
+  double p50 = 0, mean = 0, p95 = 0;
+  uint64_t committed = 0;
+};
+
+/// Runs `txns` serial ET1 transactions against an engine whose logger is
+/// provided; returns latency stats.
+RunStats RunSerialBank(sim::Simulator* sim, tp::TxnLogger* logger,
+                       std::function<void(sim::Duration)> advance,
+                       int txns) {
+  tp::PageDisk page_disk(1024);
+  tp::TransactionEngine engine(sim, logger, &page_disk, tp::EngineConfig{});
+  tp::BankDb bank(&engine, tp::BankConfig{});
+  sim::Histogram latency_ms;
+  RunStats stats;
+  for (int i = 0; i < txns; ++i) {
+    const sim::Time start = sim->Now();
+    bool done = false;
+    Status result = Status::Internal("pending");
+    bank.RunEt1(i % 100, i % 10, i % 5, 1, [&](Status st) {
+      result = st;
+      done = true;
+    });
+    for (int guard = 0; !done && guard < 120000; ++guard) {
+      advance(sim::kMillisecond);
+    }
+    if (!done) break;  // wedged: report what we have
+    if (result.ok()) {
+      ++stats.committed;
+      latency_ms.Add(sim::DurationToSeconds(sim->Now() - start) * 1e3);
+    }
+  }
+  stats.p50 = latency_ms.Percentile(0.5);
+  stats.mean = latency_ms.Mean();
+  stats.p95 = latency_ms.Percentile(0.95);
+  return stats;
+}
+
+RunStats RunRemote(int copies) {
+  harness::ClusterConfig cluster_cfg;
+  cluster_cfg.num_servers = 3;
+  harness::Cluster cluster(cluster_cfg);
+  client::LogClientConfig log_cfg;
+  log_cfg.client_id = 1;
+  log_cfg.copies = copies;
+  auto log = cluster.MakeClient(log_cfg);
+  bool ready = false;
+  log->Init([&](Status st) { ready = st.ok(); });
+  cluster.RunUntil([&]() { return ready; });
+  tp::ReplicatedTxnLogger logger(log.get());
+  return RunSerialBank(
+      &cluster.sim(), &logger,
+      [&](sim::Duration d) { cluster.sim().RunFor(d); }, 300);
+}
+
+RunStats RunLocal(int disks) {
+  sim::Simulator sim;
+  baseline::DuplexedLogConfig cfg;
+  cfg.num_disks = disks;
+  baseline::DuplexedDiskLogger logger(&sim, cfg);
+  return RunSerialBank(&sim, &logger,
+                       [&](sim::Duration d) { sim.RunFor(d); }, 300);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Section 5.6: remote replicated logging vs local disk "
+              "logging (300 serial ET1 transactions each)\n\n");
+  RunStats remote2 = RunRemote(2);
+  RunStats local1 = RunLocal(1);
+  RunStats local2 = RunLocal(2);
+
+  std::printf("%-42s %8s %8s %8s\n", "design", "p50 ms", "mean ms",
+              "p95 ms");
+  std::printf("%-42s %8.2f %8.2f %8.2f\n",
+              "remote replicated log, N=2 (NVRAM ack)", remote2.p50,
+              remote2.mean, remote2.p95);
+  std::printf("%-42s %8.2f %8.2f %8.2f\n", "local single log disk",
+              local1.p50, local1.mean, local1.p95);
+  std::printf("%-42s %8.2f %8.2f %8.2f\n", "local duplexed log disks",
+              local2.p50, local2.mean, local2.p95);
+
+  const double ratio = remote2.mean / local1.mean;
+  std::printf(
+      "\nremote(N=2) / local(single) elapsed-time ratio: %.2fx   "
+      "(paper: < 2x; with low-latency NVRAM on the servers the remote "
+      "path avoids rotational latency entirely)\n",
+      ratio);
+  return ratio < 2.0 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+#include "analysis/availability.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dlog::analysis {
+
+double BinomialCoefficient(int n, int k) {
+  assert(n >= 0);
+  if (k < 0 || k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+double AtMostKDown(int n, int k, double p) {
+  assert(n >= 0 && p >= 0.0 && p <= 1.0);
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  double total = 0.0;
+  for (int i = 0; i <= k; ++i) {
+    total += BinomialCoefficient(n, i) * std::pow(p, i) *
+             std::pow(1.0 - p, n - i);
+  }
+  return total;
+}
+
+double WriteLogAvailability(int m, int n, double p) {
+  assert(n >= 1 && m >= n);
+  return AtMostKDown(m, m - n, p);
+}
+
+double ClientInitAvailability(int m, int n, double p) {
+  assert(n >= 1 && m >= n);
+  return AtMostKDown(m, n - 1, p);
+}
+
+double ReadAvailability(int n, double p) {
+  assert(n >= 1);
+  return 1.0 - std::pow(p, n);
+}
+
+double GeneratorAvailability(int n, double p) {
+  assert(n >= 1);
+  return AtMostKDown(n, (n - 1) / 2, p);
+}
+
+}  // namespace dlog::analysis

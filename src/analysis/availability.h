@@ -1,0 +1,35 @@
+#ifndef DLOG_ANALYSIS_AVAILABILITY_H_
+#define DLOG_ANALYSIS_AVAILABILITY_H_
+
+#include <cstdint>
+
+namespace dlog::analysis {
+
+/// Binomial coefficient C(n, k) as a double (exact for the small n used
+/// in availability formulas).
+double BinomialCoefficient(int n, int k);
+
+/// Probability that at most `k` of `n` independent components are down
+/// when each is down with probability p:  sum_{i=0..k} C(n,i) p^i (1-p)^(n-i).
+double AtMostKDown(int n, int k, double p);
+
+/// Section 3.2: availability of WriteLog with M servers, N copies, and
+/// per-server unavailability p — "the probability that M-N or fewer log
+/// servers are unavailable simultaneously."
+double WriteLogAvailability(int m, int n, double p);
+
+/// Section 3.2: availability of client initialization — M-N+1 interval
+/// lists are required, so at most N-1 servers may be down.
+double ClientInitAvailability(int m, int n, double p);
+
+/// Section 3.2: availability of reading a particular record stored on N
+/// servers: 1 - p^N.
+double ReadAvailability(int n, double p);
+
+/// Appendix I: availability of a replicated identifier generator with N
+/// representatives — at most floor((N-1)/2) may be down.
+double GeneratorAvailability(int n, double p);
+
+}  // namespace dlog::analysis
+
+#endif  // DLOG_ANALYSIS_AVAILABILITY_H_

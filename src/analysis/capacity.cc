@@ -1,0 +1,111 @@
+#include "analysis/capacity.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dlog::analysis {
+namespace {
+
+// Wire-format overheads matching wire::EncodedRecordSize /
+// RecordBatchOverhead (kept as plain numbers so the analytic model does
+// not depend on the wire library).
+constexpr double kRecordOverheadBytes = 21;  // lsn + epoch + flag + length
+constexpr double kBatchOverheadBytes = 25;   // envelope + client + epoch
+constexpr double kAckBytes = 9;              // NewHighLsn body
+
+}  // namespace
+
+CapacityOutputs ComputeCapacity(const CapacityInputs& in) {
+  CapacityOutputs out;
+  out.system_tps = in.clients * in.tps_per_client;
+
+  const double records_per_sec = out.system_tps * in.records_per_txn;
+  const double data_bytes_per_sec = out.system_tps * in.bytes_per_txn;
+  out.log_bytes_per_sec_total = data_bytes_per_sec * in.copies;
+
+  // One RPC per record: each server sees its share of record writes, and
+  // each request has a reply ("incoming or outgoing messages").
+  const double record_writes_per_sec = records_per_sec * in.copies;
+  out.msgs_per_sec_per_server_unbatched =
+      record_writes_per_sec * 2.0 / in.servers;
+
+  // Grouping to one (forced) call per transaction per copy.
+  const double force_calls_per_sec =
+      out.system_tps * in.forces_per_txn * in.copies;
+  out.rpcs_per_sec_per_server_batched = force_calls_per_sec / in.servers;
+
+  // Network load: each force call carries a transaction's records.
+  const double bytes_per_force_msg =
+      static_cast<double>(in.bytes_per_txn) / in.forces_per_txn +
+      kRecordOverheadBytes * in.records_per_txn / in.forces_per_txn +
+      kBatchOverheadBytes + in.packet_overhead_bytes;
+  const double ack_packet_bytes =
+      kAckBytes + kBatchOverheadBytes + in.packet_overhead_bytes;
+  const double data_bits =
+      out.system_tps * in.forces_per_txn * in.copies * bytes_per_force_msg *
+      8.0;
+  const double ack_bits = out.system_tps * in.forces_per_txn * in.copies *
+                          ack_packet_bytes * 8.0;
+  out.network_bits_per_sec = data_bits + ack_bits;
+  // Multicast sends the data once regardless of the number of copies.
+  out.network_bits_per_sec_multicast = data_bits / in.copies + ack_bits;
+  out.network_utilization =
+      out.network_bits_per_sec / in.network_bits_per_sec;
+
+  // Server CPU shares.
+  const double instr_per_sec = in.server_mips * 1e6;
+  const double packets_per_server_per_sec =
+      out.rpcs_per_sec_per_server_batched * 2.0;  // request + ack
+  out.cpu_fraction_comm =
+      packets_per_server_per_sec * in.instr_per_packet / instr_per_sec;
+
+  const double bytes_per_server_per_sec =
+      out.log_bytes_per_sec_total / in.servers;
+  const double tracks_per_server_per_sec =
+      bytes_per_server_per_sec / in.disk_track_bytes;
+  out.cpu_fraction_logging =
+      (out.rpcs_per_sec_per_server_batched * in.instr_per_message_logging +
+       tracks_per_server_per_sec * in.instr_per_track_write) /
+      instr_per_sec;
+
+  // Disk: sequential track writes cost half a rotation (latency) plus a
+  // full rotation (transfer).
+  const double rotation_s = 60.0 / in.disk_rpm;
+  const double track_write_s = 0.5 * rotation_s + rotation_s;
+  out.disk_utilization = tracks_per_server_per_sec * track_write_s;
+
+  out.bytes_per_server_per_day = bytes_per_server_per_sec * 86400.0;
+  return out;
+}
+
+std::string CapacityReport(const CapacityInputs& in,
+                           const CapacityOutputs& out) {
+  char buf[1600];
+  std::snprintf(
+      buf, sizeof(buf),
+      "Capacity model (Section 4.1)\n"
+      "  load: %d clients x %.1f TPS, %d records/txn, %d bytes/txn, "
+      "N=%d, M=%d servers\n"
+      "  aggregate rate ................ %.0f TPS\n"
+      "  unbatched msgs/server ......... %.0f msgs/s   (paper: ~2400)\n"
+      "  batched RPCs/server ........... %.0f RPCs/s   (paper: ~170)\n"
+      "  network load .................. %.2f Mbit/s  (paper: ~7)\n"
+      "  network load w/ multicast ..... %.2f Mbit/s  (paper: ~halved)\n"
+      "  one-network utilization ....... %.0f%%\n"
+      "  server CPU: communication ..... %.1f%%       (paper: <10%%)\n"
+      "  server CPU: logging ........... %.1f%%       (paper: 10-20%%)\n"
+      "  disk utilization .............. %.0f%%       (paper: up to ~50%%)\n"
+      "  log volume/server/day ......... %.2f GB     (paper: ~10 GB)\n",
+      in.clients, in.tps_per_client, in.records_per_txn, in.bytes_per_txn,
+      in.copies, in.servers, out.system_tps,
+      out.msgs_per_sec_per_server_unbatched,
+      out.rpcs_per_sec_per_server_batched,
+      out.network_bits_per_sec / 1e6,
+      out.network_bits_per_sec_multicast / 1e6,
+      out.network_utilization * 100.0, out.cpu_fraction_comm * 100.0,
+      out.cpu_fraction_logging * 100.0, out.disk_utilization * 100.0,
+      out.bytes_per_server_per_day / 1e9);
+  return buf;
+}
+
+}  // namespace dlog::analysis

@@ -1,0 +1,58 @@
+#ifndef DLOG_ANALYSIS_CAPACITY_H_
+#define DLOG_ANALYSIS_CAPACITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dlog::analysis {
+
+/// Inputs to the Section 4.1 capacity analysis. Defaults reproduce the
+/// paper's target load: 50 clients × 10 local ET1 TPS, each transaction
+/// writing 700 bytes in 7 log records with one force, dual-copy logging
+/// to 6 servers.
+struct CapacityInputs {
+  int clients = 50;
+  double tps_per_client = 10.0;
+  int records_per_txn = 7;
+  int bytes_per_txn = 700;
+  int forces_per_txn = 1;
+  int copies = 2;  // N
+  int servers = 6;  // M
+  double server_mips = 4.0;
+  // Instruction budgets (Section 4.1).
+  uint64_t instr_per_packet = 1000;
+  uint64_t instr_per_message_logging = 2000;  // process + copy to NVRAM
+  uint64_t instr_per_track_write = 2000;
+  // Media.
+  double network_bits_per_sec = 10e6;
+  int packet_overhead_bytes = 32;
+  int disk_track_bytes = 16 * 1024;
+  double disk_rpm = 3600;
+  double disk_avg_seek_ms = 25.0;
+};
+
+/// Outputs mirroring each claim in Section 4.1.
+struct CapacityOutputs {
+  double system_tps = 0;                  // aggregate transactions/second
+  double log_bytes_per_sec_total = 0;     // all copies, all servers
+  double msgs_per_sec_per_server_unbatched = 0;  // one RPC per record (in+out)
+  double rpcs_per_sec_per_server_batched = 0;    // grouped to one per force
+  double network_bits_per_sec = 0;        // aggregate offered load
+  double network_bits_per_sec_multicast = 0;  // with multicast (~halved)
+  double network_utilization = 0;         // of one network
+  double cpu_fraction_comm = 0;           // packet processing share
+  double cpu_fraction_logging = 0;        // record processing + track writes
+  double disk_utilization = 0;            // log stream write share
+  double bytes_per_server_per_day = 0;
+};
+
+/// Evaluates the analytical capacity model.
+CapacityOutputs ComputeCapacity(const CapacityInputs& in);
+
+/// Renders the outputs as the rows the paper states in prose.
+std::string CapacityReport(const CapacityInputs& in,
+                           const CapacityOutputs& out);
+
+}  // namespace dlog::analysis
+
+#endif  // DLOG_ANALYSIS_CAPACITY_H_

@@ -1,0 +1,1446 @@
+#include "client/log_client.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dlog::client {
+
+// Per-Init transient state, shared across the callback chain.
+struct LogClient::InitState {
+  std::function<void(Status)> done;
+  uint64_t generation = 0;
+
+  // Interval gather.
+  int interval_ok = 0;
+  int interval_fail = 0;
+  bool intervals_done = false;
+  std::vector<ServerInterval> intervals;
+
+  // Epoch acquisition.
+  int gen_read_ok = 0;
+  int gen_read_fail = 0;
+  bool gen_read_done = false;
+  uint64_t gen_max = 0;
+  int gen_write_ok = 0;
+  int gen_write_fail = 0;
+  bool gen_write_done = false;
+  uint64_t gen_value = 0;
+
+  // Recovery copy.
+  Lsn high = kNoLsn;
+  std::vector<Lsn> tail_lsns;
+  size_t tail_cursor = 0;
+  std::map<Lsn, LogRecord> tail_records;
+  std::vector<net::NodeId> targets;
+  size_t copy_acks = 0;
+  size_t install_acks = 0;
+  bool failed = false;
+  bool finished = false;
+};
+
+LogClient::LogClient(sim::Simulator* sim, const LogClientConfig& config)
+    : sim_(sim), config_(config), rng_(config.seed) {
+  assert(config_.copies >= 1);
+  assert(config_.servers.size() >= static_cast<size_t>(config_.copies));
+  if (config_.generator_reps.empty()) {
+    const size_t reps = std::min<size_t>(3, config_.servers.size());
+    config_.generator_reps.assign(config_.servers.begin(),
+                                  config_.servers.begin() + reps);
+  }
+  // Decentralized spreading: each client starts its rotation at a
+  // different point (Section 5.4's "simple decentralized strategies").
+  round_robin_cursor_ = config_.client_id;
+  cpu_ = std::make_unique<sim::Cpu>(sim, config_.cpu_mips, "client-cpu");
+  endpoint_ = std::make_unique<wire::Endpoint>(sim, cpu_.get(),
+                                               config_.node_id,
+                                               config_.wire);
+  // Multicast acknowledgments arrive as datagrams from server nodes.
+  endpoint_->SetDatagramHandler(
+      [this](net::NodeId src, const Bytes& payload) {
+        if (!crashed_) OnServerMessage(src, payload);
+      });
+}
+
+LogClient::~LogClient() {
+  if (retry_timer_ != 0) sim_->Cancel(retry_timer_);
+}
+
+void LogClient::AttachNetwork(net::Network* network) {
+  auto nic = std::make_unique<net::Nic>(sim_, config_.nic_ring_slots);
+  network->Attach(config_.node_id, nic.get());
+  endpoint_->AttachNetwork(network, nic.get());
+  networks_.push_back(network);
+  nics_.push_back(std::move(nic));
+}
+
+wire::RpcClient::CallOptions LogClient::RpcOpts() const {
+  wire::RpcClient::CallOptions opts;
+  opts.timeout = config_.rpc_timeout;
+  opts.max_attempts = config_.rpc_attempts;
+  return opts;
+}
+
+LogClient::ServerLink* LogClient::LinkOf(net::NodeId node) {
+  auto it = links_.find(node);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+void LogClient::ConnectAll() {
+  for (net::NodeId node : config_.servers) {
+    ServerLink& link = links_[node];
+    link.node = node;
+    EnsureConnected(&link);
+  }
+  for (net::NodeId node : config_.generator_reps) {
+    ServerLink& link = links_[node];
+    link.node = node;
+    EnsureConnected(&link);
+  }
+}
+
+void LogClient::EnsureConnected(ServerLink* link) {
+  if (crashed_) return;
+  if (link->conn != nullptr && !link->conn->IsClosed()) return;
+  wire::Connection* conn = endpoint_->Connect(link->node);
+  link->conn = conn;
+  if (link->rpc == nullptr) {
+    // The provider reconnects on demand, so an RPC started before a
+    // server restart retries over the fresh connection.
+    const net::NodeId rpc_node = link->node;
+    link->rpc = std::make_unique<wire::RpcClient>(
+        sim_, [this, rpc_node]() -> wire::Connection* {
+          ServerLink* l = LinkOf(rpc_node);
+          if (l == nullptr) return nullptr;
+          EnsureConnected(l);
+          return l->conn;
+        });
+  }
+  const net::NodeId node = link->node;
+  const uint64_t generation = generation_;
+  conn->SetMessageHandler([this, node, generation](const Bytes& payload) {
+    if (generation != generation_) return;
+    OnServerMessage(node, payload);
+  });
+  conn->SetCloseHandler([this, node, generation]() {
+    if (generation != generation_) return;
+    ServerLink* l = LinkOf(node);
+    if (l != nullptr) l->conn = nullptr;  // reconnect lazily
+  });
+}
+
+void LogClient::OnServerMessage(net::NodeId node, const Bytes& payload) {
+  ServerLink* link = LinkOf(node);
+  if (link == nullptr) return;
+  Result<wire::Envelope> env = wire::DecodeEnvelope(payload);
+  if (!env.ok()) return;
+  switch (env->type) {
+    case wire::MessageType::kNewHighLsn: {
+      Result<wire::NewHighLsnMsg> m = wire::DecodeNewHighLsn(env->body);
+      if (m.ok()) OnNewHighLsn(link, m->new_high_lsn);
+      return;
+    }
+    case wire::MessageType::kMissingInterval: {
+      Result<wire::MissingIntervalMsg> m =
+          wire::DecodeMissingInterval(env->body);
+      if (m.ok()) OnMissingInterval(link, m->low, m->high);
+      return;
+    }
+    default:
+      if (env->rpc_id != 0 && link->rpc != nullptr) {
+        link->rpc->HandleResponse(*env);
+      }
+      return;
+  }
+}
+
+// --- Write pipeline ---
+
+Result<Lsn> LogClient::WriteLog(Bytes data) {
+  if (crashed_) return Status::Aborted("client crashed");
+  if (!initialized_) {
+    return Status::FailedPrecondition("log client not initialized");
+  }
+  PendingRecord pr;
+  pr.record.lsn = next_lsn_;
+  pr.record.epoch = epoch_;
+  pr.record.present = true;
+  pr.record.data = std::move(data);
+  bytes_buffered_ += pr.record.data.size();
+  pending_[next_lsn_] = std::move(pr);
+  const Lsn lsn = next_lsn_++;
+  PumpSends();
+  return lsn;
+}
+
+void LogClient::ForceLog(Lsn upto, std::function<void(Status)> done) {
+  if (crashed_ || !initialized_) {
+    sim_->After(0, [done = std::move(done)]() {
+      done(Status::FailedPrecondition("log client not ready"));
+    });
+    return;
+  }
+  for (auto& [lsn, pr] : pending_) {
+    if (lsn > upto) break;
+    pr.forced = true;
+  }
+  ForceWaiter waiter{upto, std::move(done), sim_->Now()};
+  force_waiters_.push_back(std::move(waiter));
+  PumpSends();
+  ArmRetryTimer();
+  CheckForceCompletion();
+}
+
+std::vector<LogClient::ServerLink*> LogClient::WriteSet() {
+  std::vector<ServerLink*> out;
+  for (net::NodeId node : write_set_) {
+    ServerLink* link = LinkOf(node);
+    if (link != nullptr) out.push_back(link);
+  }
+  return out;
+}
+
+net::NodeId LogClient::PickReplacement(
+    const std::set<net::NodeId>& exclude) {
+  std::vector<net::NodeId> candidates;
+  for (net::NodeId node : config_.servers) {
+    if (exclude.count(node) > 0) continue;
+    auto avoided = avoid_until_.find(node);
+    if (avoided != avoid_until_.end() && avoided->second > sim_->Now()) {
+      continue;
+    }
+    candidates.push_back(node);
+  }
+  if (candidates.empty()) {
+    // Everyone is either in use or in the penalty box; retry deserters.
+    for (net::NodeId node : config_.servers) {
+      if (exclude.count(node) == 0) candidates.push_back(node);
+    }
+  }
+  if (candidates.empty()) return 0;
+  switch (config_.policy) {
+    case SelectionPolicy::kStickyFailover:
+      // Sticky thereafter, but the starting point is spread by client id
+      // so a population of clients does not pile onto the same servers.
+      return candidates[config_.client_id % candidates.size()];
+    case SelectionPolicy::kRoundRobin: {
+      const net::NodeId pick =
+          candidates[round_robin_cursor_ % candidates.size()];
+      ++round_robin_cursor_;
+      return pick;
+    }
+    case SelectionPolicy::kRandom:
+      return candidates[rng_.NextBelow(candidates.size())];
+    case SelectionPolicy::kLeastQueued: {
+      net::NodeId best = candidates.front();
+      size_t best_depth = ~size_t{0};
+      for (net::NodeId node : candidates) {
+        ServerLink* link = LinkOf(node);
+        const size_t depth =
+            (link != nullptr && link->conn != nullptr)
+                ? link->conn->send_queue_depth()
+                : 0;
+        if (depth < best_depth) {
+          best_depth = depth;
+          best = node;
+        }
+      }
+      return best;
+    }
+  }
+  return candidates.front();
+}
+
+void LogClient::ChooseWriteSet() {
+  std::set<net::NodeId> members(write_set_.begin(), write_set_.end());
+  while (write_set_.size() < static_cast<size_t>(config_.copies)) {
+    const net::NodeId pick = PickReplacement(members);
+    if (pick == 0) break;
+    members.insert(pick);
+    write_set_.push_back(pick);
+    ServerLink& link = links_[pick];
+    link.node = pick;
+    link.in_write_set = true;
+    EnsureConnected(&link);
+    JoinWriteSetMember(pick);
+    // A server joining mid-stream needs a NewInterval announcement unless
+    // its stream is already contiguous with what we will send next.
+    const Lsn first =
+        pending_.empty() ? next_lsn_ : pending_.begin()->first;
+    if (link.sent_high != first - 1) {
+      wire::NewIntervalMsg msg{config_.client_id, epoch_, first};
+      if (link.conn != nullptr) link.conn->Send(wire::EncodeNewInterval(msg));
+      link.sent_high = first - 1;
+    }
+  }
+}
+
+size_t LogClient::UnackedSentRecords() const {
+  size_t n = 0;
+  for (const auto& [lsn, pr] : pending_) {
+    if (!pr.sent_to.empty()) ++n;
+  }
+  return n;
+}
+
+void LogClient::JoinWriteSetMember(net::NodeId node) {
+  if (!config_.multicast_writes) return;
+  for (net::Network* network : networks_) {
+    network->JoinGroup(Group(), node);
+  }
+}
+
+void LogClient::LeaveWriteSetMember(net::NodeId node) {
+  if (!config_.multicast_writes) return;
+  for (net::Network* network : networks_) {
+    network->LeaveGroup(Group(), node);
+  }
+}
+
+void LogClient::PumpSends() {
+  if (crashed_ || !initialized_) return;
+  ChooseWriteSet();
+  if (config_.multicast_writes) {
+    // The multicast stream restarts from the lowest per-server position,
+    // so a server that just joined catches up from the group stream;
+    // redelivery to servers already ahead is idempotent.
+    for (ServerLink* link : WriteSet()) EnsureConnected(link);
+    StreamMulticast();
+    return;
+  }
+  for (ServerLink* link : WriteSet()) {
+    EnsureConnected(link);
+    StreamTo(link);
+  }
+}
+
+void LogClient::StreamMulticast() {
+  std::vector<ServerLink*> ws = WriteSet();
+  if (ws.size() < static_cast<size_t>(config_.copies)) return;
+
+  Lsn frontier = ~Lsn{0};
+  for (ServerLink* link : ws) frontier = std::min(frontier, link->sent_high);
+
+  Lsn force_upto = kNoLsn;
+  for (const ForceWaiter& w : force_waiters_) {
+    force_upto = std::max(force_upto, w.upto);
+  }
+
+  std::vector<std::map<Lsn, PendingRecord>::iterator> batch;
+  size_t batch_bytes = wire::RecordBatchOverhead();
+  bool batch_forced = false;
+  bool sent_forced_batch = false;
+  size_t unacked_sent = UnackedSentRecords();
+
+  auto commit_batch = [&]() {
+    wire::RecordBatch msg;
+    msg.client = config_.client_id;
+    msg.epoch = epoch_;
+    for (auto it : batch) {
+      PendingRecord& pr = it->second;
+      if (pr.first_sent == 0) pr.first_sent = sim_->Now();
+      for (ServerLink* link : ws) {
+        pr.sent_to.insert(link->node);
+        link->sent_high = std::max(link->sent_high, it->first);
+      }
+      msg.records.push_back(pr.record);
+      records_sent_.Increment();
+    }
+    batch.clear();
+    const wire::MessageType type = batch_forced
+                                       ? wire::MessageType::kForceLog
+                                       : wire::MessageType::kWriteLog;
+    if (batch_forced) sent_forced_batch = true;
+    endpoint_->SendDatagram(Group(), wire::EncodeRecordBatch(type, msg));
+    batches_sent_.Increment();
+    batch_bytes = wire::RecordBatchOverhead();
+    batch_forced = false;
+  };
+
+  for (auto it = pending_.lower_bound(frontier + 1); it != pending_.end();
+       ++it) {
+    PendingRecord& pr = it->second;
+    if (pr.sent_to.empty() && unacked_sent >= config_.delta) break;
+    const size_t cost = wire::EncodedRecordSize(pr.record);
+    if (batch_bytes + cost > config_.mtu_payload && !batch.empty()) {
+      commit_batch();
+    }
+    if (pr.sent_to.empty()) ++unacked_sent;
+    batch.push_back(it);
+    batch_bytes += cost;
+    batch_forced = batch_forced || pr.forced;
+  }
+  if (!batch.empty() &&
+      (batch_forced || batch_bytes + 64 >= config_.mtu_payload)) {
+    commit_batch();
+  }
+
+  if (sent_forced_batch) {
+    for (ServerLink* link : ws) {
+      link->force_ping_high = std::max(link->force_ping_high, force_upto);
+    }
+    return;
+  }
+  // A force of already-streamed records: one unicast ping per lagging
+  // server (they ack individually anyway).
+  for (ServerLink* link : ws) {
+    if (force_upto != kNoLsn && link->acked_high < force_upto &&
+        link->sent_high >= force_upto &&
+        link->force_ping_high < force_upto && link->conn != nullptr) {
+      link->force_ping_high = force_upto;
+      wire::RecordBatch ping;
+      ping.client = config_.client_id;
+      ping.epoch = epoch_;
+      link->conn->Send(
+          wire::EncodeRecordBatch(wire::MessageType::kForceLog, ping));
+    }
+  }
+}
+
+void LogClient::StreamTo(ServerLink* link) {
+  if (link->conn == nullptr) return;
+
+  // Is there an outstanding force this link has not yet acknowledged?
+  Lsn force_upto = kNoLsn;
+  for (const ForceWaiter& w : force_waiters_) {
+    force_upto = std::max(force_upto, w.upto);
+  }
+
+  // Grouping (Section 4.1): records stay in the client buffer until a
+  // force covers them or a full packet's worth has accumulated, so that
+  // "log records [are] stored on a client node until they are explicitly
+  // forced by the recovery manager".
+  std::vector<std::map<Lsn, PendingRecord>::iterator> batch;
+  size_t batch_bytes = wire::RecordBatchOverhead();
+  bool batch_forced = false;
+  size_t unacked_sent = UnackedSentRecords();
+
+  bool sent_forced_batch = false;
+  auto commit_batch = [&]() {
+    wire::RecordBatch msg;
+    msg.client = config_.client_id;
+    msg.epoch = epoch_;
+    for (auto it : batch) {
+      PendingRecord& pr = it->second;
+      if (pr.first_sent == 0) pr.first_sent = sim_->Now();
+      pr.sent_to.insert(link->node);
+      link->sent_high = std::max(link->sent_high, it->first);
+      msg.records.push_back(pr.record);
+      records_sent_.Increment();
+    }
+    batch.clear();
+    const wire::MessageType type = batch_forced
+                                       ? wire::MessageType::kForceLog
+                                       : wire::MessageType::kWriteLog;
+    if (batch_forced) sent_forced_batch = true;
+    link->conn->Send(wire::EncodeRecordBatch(type, msg));
+    batches_sent_.Increment();
+    batch_bytes = wire::RecordBatchOverhead();
+    batch_forced = false;
+  };
+
+  for (auto it = pending_.lower_bound(link->sent_high + 1);
+       it != pending_.end(); ++it) {
+    PendingRecord& pr = it->second;
+    // δ bound: throttle first-time sends so that at most `delta` records
+    // can ever be partially written.
+    if (pr.sent_to.empty() && unacked_sent >= config_.delta) break;
+    const size_t cost = wire::EncodedRecordSize(pr.record);
+    if (batch_bytes + cost > config_.mtu_payload && !batch.empty()) {
+      commit_batch();
+    }
+    if (pr.sent_to.empty()) ++unacked_sent;
+    batch.push_back(it);
+    batch_bytes += cost;
+    batch_forced = batch_forced || pr.forced;
+  }
+  if (!batch.empty()) {
+    // A trailing partial packet goes out only when a force needs it;
+    // otherwise those records keep buffering.
+    if (batch_forced) {
+      commit_batch();
+    } else if (batch_bytes + 64 >= config_.mtu_payload) {
+      commit_batch();
+    }
+  }
+
+  // A force of already-streamed records still needs an acknowledgment:
+  // prod the server with one empty ForceLog per force point (the retry
+  // timer re-prods if the ack is lost).
+  if (sent_forced_batch) {
+    // The forced data batch itself elicits the acknowledgment.
+    link->force_ping_high = std::max(link->force_ping_high, force_upto);
+    return;
+  }
+  if (force_upto != kNoLsn && link->acked_high < force_upto &&
+      link->sent_high >= force_upto &&
+      link->force_ping_high < force_upto) {
+    link->force_ping_high = force_upto;
+    wire::RecordBatch ping;
+    ping.client = config_.client_id;
+    ping.epoch = epoch_;
+    link->conn->Send(
+        wire::EncodeRecordBatch(wire::MessageType::kForceLog, ping));
+  }
+}
+
+void LogClient::OnNewHighLsn(ServerLink* link, Lsn high) {
+  link->acked_high = std::max(link->acked_high, high);
+  bool progressed = false;
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->first > high) break;
+    PendingRecord& pr = it->second;
+    if (pr.sent_to.count(link->node) > 0 &&
+        pr.acked_by.insert(link->node).second) {
+      progressed = true;
+    }
+  }
+  if (progressed) {
+    link->silent_rounds = 0;
+    CheckForceCompletion();
+    PumpSends();  // δ slots may have freed up
+  }
+}
+
+void LogClient::CheckForceCompletion() {
+  // Retire records acknowledged by N servers.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingRecord& pr = it->second;
+    if (pr.acked_by.size() >= static_cast<size_t>(config_.copies)) {
+      std::vector<ServerId> holders(pr.acked_by.begin(), pr.acked_by.end());
+      view_.NoteWrite(pr.record.lsn, pr.record.epoch, holders);
+      bytes_buffered_ -= pr.record.data.size();
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Complete force waiters whose range is fully durable.
+  while (!force_waiters_.empty()) {
+    ForceWaiter& w = force_waiters_.front();
+    auto it = pending_.begin();
+    if (it != pending_.end() && it->first <= w.upto) break;
+    force_latency_ms_.Add(sim::DurationToSeconds(sim_->Now() - w.started) *
+                          1e3);
+    forces_completed_.Increment();
+    auto done = std::move(w.done);
+    force_waiters_.pop_front();
+    done(Status::OK());
+  }
+  if (force_waiters_.empty() && retry_timer_ != 0) {
+    sim_->Cancel(retry_timer_);
+    retry_timer_ = 0;
+  }
+}
+
+void LogClient::OnMissingInterval(ServerLink* link, Lsn low, Lsn high) {
+  if (crashed_ || !initialized_ || link->conn == nullptr) return;
+  // Records the server never saw: resend the ones still pending; announce
+  // a new interval past anything already durable elsewhere.
+  auto first_pending = pending_.lower_bound(low);
+  if (first_pending == pending_.end() || first_pending->first > high) {
+    // Everything missing is durable on other servers.
+    wire::NewIntervalMsg msg{config_.client_id, epoch_, high + 1};
+    link->conn->Send(wire::EncodeNewInterval(msg));
+    link->sent_high = std::max(link->sent_high, high);
+    StreamTo(link);
+    return;
+  }
+  if (first_pending->first > low) {
+    // The prefix of the gap is durable elsewhere; skip the server past it.
+    wire::NewIntervalMsg msg{config_.client_id, epoch_,
+                             first_pending->first};
+    link->conn->Send(wire::EncodeNewInterval(msg));
+  }
+  // Resend the pending remainder of the gap as a force.
+  wire::RecordBatch batch;
+  batch.client = config_.client_id;
+  batch.epoch = epoch_;
+  for (auto it = first_pending; it != pending_.end() && it->first <= high;
+       ++it) {
+    it->second.sent_to.insert(link->node);
+    batch.records.push_back(it->second.record);
+  }
+  resends_.Increment();
+  link->conn->Send(
+      wire::EncodeRecordBatch(wire::MessageType::kForceLog, batch));
+}
+
+void LogClient::ArmRetryTimer() {
+  if (retry_timer_ != 0 || crashed_) return;
+  const uint64_t generation = generation_;
+  retry_timer_ = sim_->After(config_.force_timeout, [this, generation]() {
+    if (generation != generation_) return;
+    retry_timer_ = 0;
+    OnRetryTimer();
+  });
+}
+
+void LogClient::OnRetryTimer() {
+  if (crashed_ || !initialized_ || force_waiters_.empty()) return;
+  // Per write-set server: any forced record sent there but unacked?
+  std::vector<ServerLink*> to_switch;
+  for (ServerLink* link : WriteSet()) {
+    bool lagging = false;
+    for (const auto& [lsn, pr] : pending_) {
+      if (pr.forced && pr.sent_to.count(link->node) > 0 &&
+          pr.acked_by.count(link->node) == 0) {
+        lagging = true;
+        break;
+      }
+    }
+    if (!lagging) {
+      link->silent_rounds = 0;
+      link->acked_at_last_round = link->acked_high;
+      continue;
+    }
+    if (link->acked_high > link->acked_at_last_round) {
+      link->silent_rounds = 0;  // making progress, just slow
+    } else {
+      ++link->silent_rounds;
+    }
+    link->acked_at_last_round = link->acked_high;
+
+    if (link->silent_rounds > config_.force_retries) {
+      to_switch.push_back(link);
+      continue;
+    }
+    // "If it uses the ForceLog message and does not get a response, it
+    // retries a number of times before moving to a different server."
+    EnsureConnected(link);
+    if (link->conn == nullptr) continue;
+    wire::RecordBatch batch;
+    batch.client = config_.client_id;
+    batch.epoch = epoch_;
+    size_t bytes = wire::RecordBatchOverhead();
+    for (const auto& [lsn, pr] : pending_) {
+      if (pr.sent_to.count(link->node) == 0) continue;
+      if (pr.acked_by.count(link->node) > 0) continue;
+      const size_t cost = wire::EncodedRecordSize(pr.record);
+      if (bytes + cost > config_.mtu_payload) break;
+      batch.records.push_back(pr.record);
+      bytes += cost;
+    }
+    resends_.Increment();
+    link->conn->Send(
+        wire::EncodeRecordBatch(wire::MessageType::kForceLog, batch));
+  }
+  for (ServerLink* link : to_switch) SwitchAwayFrom(link);
+  PumpSends();
+  ArmRetryTimer();
+}
+
+void LogClient::SwitchAwayFrom(ServerLink* link) {
+  // "Clients will simply assume that the server has failed and will take
+  // their logging elsewhere."
+  link->in_write_set = false;
+  link->silent_rounds = 0;
+  write_set_.erase(
+      std::remove(write_set_.begin(), write_set_.end(), link->node),
+      write_set_.end());
+  LeaveWriteSetMember(link->node);
+  avoid_until_[link->node] = sim_->Now() + config_.server_retry_backoff;
+  server_switches_.Increment();
+  // Unacked records sent to the deserter still need N copies; make them
+  // eligible for the replacement by dropping the deserter's claim. (Acks
+  // it already gave still count.)
+  ChooseWriteSet();  // fills the vacancy and announces NewInterval
+}
+
+Lsn LogClient::TruncateLog(Lsn below) {
+  if (crashed_ || !initialized_) return kNoLsn;
+  // Keep the most recent δ records (the restart recovery procedure reads
+  // and re-copies them) and anything still awaiting replication.
+  const Lsn durable_end =
+      pending_.empty() ? next_lsn_ - 1 : pending_.begin()->first - 1;
+  const Lsn keep_from =
+      durable_end > config_.delta ? durable_end - config_.delta : kNoLsn;
+  below = std::min(below, keep_from + 1);
+  if (below <= 1) return kNoLsn;
+
+  wire::TruncateLogMsg msg{config_.client_id, below};
+  const Bytes encoded = wire::EncodeTruncateLog(msg);
+  for (net::NodeId node : config_.servers) {
+    ServerLink* link = LinkOf(node);
+    if (link == nullptr) continue;
+    EnsureConnected(link);
+    if (link->conn != nullptr) link->conn->Send(encoded);
+  }
+  view_.TruncateBelow(below);
+  for (auto it = read_cache_.begin(); it != read_cache_.end();) {
+    it = it->first < below ? read_cache_.erase(it) : std::next(it);
+  }
+  return below;
+}
+
+// --- Media repair ---
+
+struct LogClient::RepairState {
+  uint64_t generation = 0;
+  std::function<void(Status)> done;
+  bool finished = false;
+
+  // Interval gather.
+  int responses = 0;
+  int failures = 0;
+  bool gathered = false;
+  std::vector<ServerInterval> intervals;
+
+  // Segments needing repair, processed sequentially.
+  struct Work {
+    Lsn low = kNoLsn;
+    Lsn high = kNoLsn;
+    std::vector<ServerId> holders;
+    int missing = 0;
+  };
+  std::deque<Work> queue;
+  // Current segment progress.
+  std::vector<LogRecord> records;
+  Lsn cursor = kNoLsn;
+  std::vector<net::NodeId> targets;
+  size_t copy_acks = 0;
+  size_t copy_calls_needed = 0;
+  size_t install_acks = 0;
+  bool partial = false;  // some segment could not be repaired
+};
+
+void LogClient::RepairLog(std::function<void(Status)> done) {
+  if (crashed_ || !initialized_) {
+    sim_->After(0, [done = std::move(done)]() {
+      done(Status::FailedPrecondition("log client not ready"));
+    });
+    return;
+  }
+  auto st = std::make_shared<RepairState>();
+  st->generation = generation_;
+  st->done = std::move(done);
+
+  auto finish = [this, st](Status status) {
+    if (st->finished) return;
+    st->finished = true;
+    st->done(status);
+  };
+
+  // Step 3 (declared first; steps chain backwards): process the queue.
+  auto process = std::make_shared<std::function<void()>>();
+  *process = [this, st, process, finish]() {
+    if (st->generation != generation_ || st->finished) return;
+    if (st->queue.empty()) {
+      finish(st->partial ? Status::Unavailable(
+                               "some records could not be re-replicated")
+                         : Status::OK());
+      return;
+    }
+    RepairState::Work& work = st->queue.front();
+
+    // Choose repair targets: servers that do not hold the segment.
+    st->targets.clear();
+    for (net::NodeId node : config_.servers) {
+      if (static_cast<int>(st->targets.size()) >= work.missing) break;
+      if (std::find(work.holders.begin(), work.holders.end(), node) !=
+          work.holders.end()) {
+        continue;
+      }
+      st->targets.push_back(node);
+    }
+    if (static_cast<int>(st->targets.size()) < work.missing) {
+      st->partial = true;
+      st->queue.pop_front();
+      (*process)();
+      return;
+    }
+
+    // Read the segment's records from holders, then copy to targets.
+    st->records.clear();
+    st->cursor = work.low;
+    auto read_chunk = std::make_shared<std::function<void(size_t)>>();
+    *read_chunk = [this, st, process, read_chunk,
+                   finish](size_t holder_index) {
+      if (st->generation != generation_ || st->finished) return;
+      RepairState::Work& w = st->queue.front();
+      if (st->cursor > w.high) {
+        // All records read; stage the copies (re-stamped with the
+        // current epoch) on every target, then install.
+        std::vector<LogRecord> copies;
+        for (const LogRecord& r : st->records) {
+          LogRecord copy = r;
+          copy.epoch = epoch_;
+          copies.push_back(std::move(copy));
+        }
+        std::vector<std::vector<LogRecord>> chunks;
+        std::vector<LogRecord> chunk;
+        size_t bytes = wire::RecordBatchOverhead();
+        for (const LogRecord& r : copies) {
+          const size_t cost = wire::EncodedRecordSize(r);
+          if (!chunk.empty() && bytes + cost > config_.mtu_payload) {
+            chunks.push_back(std::move(chunk));
+            chunk.clear();
+            bytes = wire::RecordBatchOverhead();
+          }
+          chunk.push_back(r);
+          bytes += cost;
+        }
+        if (!chunk.empty()) chunks.push_back(std::move(chunk));
+
+        st->copy_acks = 0;
+        st->install_acks = 0;
+        st->copy_calls_needed = chunks.size() * st->targets.size();
+        if (st->copy_calls_needed == 0) {
+          st->queue.pop_front();
+          (*process)();
+          return;
+        }
+        for (net::NodeId node : st->targets) {
+          ServerLink* link = LinkOf(node);
+          if (link == nullptr) {
+            ServerLink& fresh = links_[node];
+            fresh.node = node;
+            link = &fresh;
+          }
+          EnsureConnected(link);
+          for (const std::vector<LogRecord>& c : chunks) {
+            wire::CopyLogReq creq;
+            creq.client = config_.client_id;
+            creq.epoch = epoch_;
+            creq.records = c;
+            link->rpc->Call(
+                [creq](uint64_t id) {
+                  return wire::EncodeCopyLogReq(creq, id);
+                },
+                RpcOpts(),
+                [this, st, process, finish,
+                 copies](Result<wire::Envelope> env) {
+                  if (st->generation != generation_ || st->finished) return;
+                  bool ok = false;
+                  if (env.ok()) {
+                    auto resp = wire::DecodeCopyLogResp(env->body);
+                    ok = resp.ok() &&
+                         resp->status == wire::RpcStatus::kOk;
+                  }
+                  if (!ok) {
+                    st->partial = true;
+                    st->queue.pop_front();
+                    (*process)();
+                    return;
+                  }
+                  if (++st->copy_acks < st->copy_calls_needed) return;
+                  // Install on every target.
+                  for (net::NodeId inode : st->targets) {
+                    ServerLink* ilink = LinkOf(inode);
+                    wire::InstallCopiesReq ireq{config_.client_id, epoch_};
+                    ilink->rpc->Call(
+                        [ireq](uint64_t id) {
+                          return wire::EncodeInstallCopiesReq(ireq, id);
+                        },
+                        RpcOpts(),
+                        [this, st, process, finish, inode,
+                         copies](Result<wire::Envelope> ienv) {
+                          if (st->generation != generation_ ||
+                              st->finished) {
+                            return;
+                          }
+                          bool iok = false;
+                          if (ienv.ok()) {
+                            auto iresp =
+                                wire::DecodeInstallCopiesResp(ienv->body);
+                            iok = iresp.ok() && iresp->status ==
+                                                    wire::RpcStatus::kOk;
+                          }
+                          if (!iok) {
+                            st->partial = true;
+                            st->queue.pop_front();
+                            (*process)();
+                            return;
+                          }
+                          if (++st->install_acks < st->targets.size()) {
+                            return;
+                          }
+                          // Segment repaired: note the new holders.
+                          for (const LogRecord& r : copies) {
+                            std::vector<ServerId> holders(
+                                st->targets.begin(), st->targets.end());
+                            view_.NoteWrite(r.lsn, r.epoch, holders);
+                          }
+                          st->queue.pop_front();
+                          (*process)();
+                        });
+                  }
+                });
+          }
+        }
+        return;
+      }
+
+      // Read the next run of records starting at the cursor.
+      if (holder_index >= w.holders.size()) {
+        st->partial = true;
+        st->queue.pop_front();
+        (*process)();
+        return;
+      }
+      ServerLink* link = LinkOf(w.holders[holder_index]);
+      if (link == nullptr) {
+        (*read_chunk)(holder_index + 1);
+        return;
+      }
+      EnsureConnected(link);
+      wire::ReadLogReq req{config_.client_id, st->cursor};
+      link->rpc->Call(
+          [req](uint64_t id) {
+            return wire::EncodeReadLogReq(
+                wire::MessageType::kReadLogForwardReq, req, id);
+          },
+          RpcOpts(),
+          [this, st, read_chunk, holder_index](Result<wire::Envelope> env) {
+            if (st->generation != generation_ || st->finished) return;
+            RepairState::Work& w2 = st->queue.front();
+            if (env.ok()) {
+              auto resp = wire::DecodeReadLogResp(env->body);
+              if (resp.ok() && resp->status == wire::RpcStatus::kOk &&
+                  !resp->records.empty() &&
+                  resp->records.front().lsn == st->cursor) {
+                for (const LogRecord& r : resp->records) {
+                  if (r.lsn < st->cursor || r.lsn > w2.high) continue;
+                  st->records.push_back(r);
+                  st->cursor = r.lsn + 1;
+                }
+                (*read_chunk)(0);
+                return;
+              }
+            }
+            (*read_chunk)(holder_index + 1);
+          });
+    };
+    (*read_chunk)(0);
+  };
+
+  // Step 1: gather fresh interval lists from every server.
+  const int m = static_cast<int>(config_.servers.size());
+  for (net::NodeId node : config_.servers) {
+    ServerLink* link = LinkOf(node);
+    if (link == nullptr) {
+      ServerLink& fresh = links_[node];
+      fresh.node = node;
+      link = &fresh;
+    }
+    EnsureConnected(link);
+    wire::IntervalListReq req{config_.client_id};
+    link->rpc->Call(
+        [req](uint64_t id) { return wire::EncodeIntervalListReq(req, id); },
+        RpcOpts(),
+        [this, st, node, m, process, finish](Result<wire::Envelope> env) {
+          if (st->generation != generation_ || st->finished ||
+              st->gathered) {
+            return;
+          }
+          bool ok = false;
+          if (env.ok()) {
+            auto resp = wire::DecodeIntervalListResp(env->body);
+            if (resp.ok() && resp->status == wire::RpcStatus::kOk) {
+              ok = true;
+              for (const Interval& iv : resp->intervals) {
+                st->intervals.push_back(ServerInterval{node, iv});
+              }
+            }
+          }
+          ok ? ++st->responses : ++st->failures;
+          if (st->responses + st->failures < m) return;
+          st->gathered = true;
+          if (st->responses < m - config_.copies + 1) {
+            finish(Status::Unavailable(
+                "fewer than M-N+1 servers answered the repair survey"));
+            return;
+          }
+          // Step 2: find under-replicated segments.
+          MergedLogView survey = MergedLogView::Build(st->intervals);
+          for (const MergedLogView::Segment& seg : survey.segments()) {
+            if (static_cast<int>(seg.servers.size()) >= config_.copies) {
+              continue;
+            }
+            RepairState::Work work;
+            work.low = seg.low;
+            work.high = seg.high;
+            work.holders = seg.servers;
+            work.missing =
+                config_.copies - static_cast<int>(seg.servers.size());
+            st->queue.push_back(std::move(work));
+          }
+          (*process)();
+        });
+  }
+}
+
+// --- Reads ---
+
+void LogClient::ReadLog(Lsn lsn, std::function<void(Result<Bytes>)> done) {
+  if (crashed_ || !initialized_) {
+    sim_->After(0, [done = std::move(done)]() {
+      done(Status::FailedPrecondition("log client not ready"));
+    });
+    return;
+  }
+  if (lsn == kNoLsn || lsn >= next_lsn_) {
+    sim_->After(0, [done = std::move(done)]() {
+      done(Status::OutOfRange("beyond end of log"));
+    });
+    return;
+  }
+  // Locally buffered or cached records need no server round trip (the
+  // paper's Section 5.2 motivation: aborts read from the client cache).
+  auto pit = pending_.find(lsn);
+  if (pit != pending_.end()) {
+    Bytes data = pit->second.record.data;
+    sim_->After(0, [done = std::move(done), data = std::move(data)]() {
+      done(data);
+    });
+    return;
+  }
+  auto cit = read_cache_.find(lsn);
+  if (cit != read_cache_.end()) {
+    const LogRecord& rec = cit->second;
+    Result<Bytes> result =
+        rec.present ? Result<Bytes>(rec.data)
+                    : Result<Bytes>(
+                          Status::NotFound("record marked not present"));
+    sim_->After(0,
+                [done = std::move(done), result = std::move(result)]() {
+                  done(result);
+                });
+    return;
+  }
+
+  const MergedLogView::Segment* seg = view_.Find(lsn);
+  if (seg == nullptr) {
+    sim_->After(0, [done = std::move(done)]() {
+      done(Status::NotFound("no server holds this record"));
+    });
+    return;
+  }
+
+  // Try holders one by one. The self-referencing chain clears itself at
+  // every terminal outcome so the closure cycle cannot leak.
+  auto holders = std::make_shared<std::vector<ServerId>>(seg->servers);
+  auto attempt = std::make_shared<std::function<void(size_t)>>();
+  auto shared_done =
+      std::make_shared<std::function<void(Result<Bytes>)>>(std::move(done));
+  const uint64_t generation = generation_;
+  auto finish = [attempt, shared_done](Result<Bytes> result) {
+    (*shared_done)(std::move(result));
+    *attempt = nullptr;  // break the shared_ptr cycle
+  };
+  *attempt = [this, holders, attempt, lsn, generation,
+              finish](size_t index) {
+    if (generation != generation_) {
+      finish(Status::Aborted("client crashed"));
+      return;
+    }
+    if (index >= holders->size()) {
+      finish(Status::Unavailable("no holder answered"));
+      return;
+    }
+    ServerLink* link = LinkOf((*holders)[index]);
+    if (link == nullptr) {
+      if (*attempt) (*attempt)(index + 1);
+      return;
+    }
+    EnsureConnected(link);
+    wire::ReadLogReq req{config_.client_id, lsn};
+    link->rpc->Call(
+        [req](uint64_t id) {
+          return wire::EncodeReadLogReq(
+              wire::MessageType::kReadLogForwardReq, req, id);
+        },
+        RpcOpts(),
+        [this, attempt, index, lsn, generation,
+         finish](Result<wire::Envelope> env) {
+          if (generation != generation_) {
+            finish(Status::Aborted("client crashed"));
+            return;
+          }
+          if (!env.ok()) {
+            if (*attempt) (*attempt)(index + 1);
+            return;
+          }
+          Result<wire::ReadLogResp> resp = wire::DecodeReadLogResp(env->body);
+          if (!resp.ok() || resp->status != wire::RpcStatus::kOk ||
+              resp->records.empty() || resp->records.front().lsn != lsn) {
+            if (*attempt) (*attempt)(index + 1);
+            return;
+          }
+          // Cache the packed extra records for future reads.
+          for (const LogRecord& r : resp->records) {
+            if (read_cache_.size() > 4096) break;
+            read_cache_[r.lsn] = r;
+          }
+          const LogRecord& rec = resp->records.front();
+          if (!rec.present) {
+            finish(Status::NotFound("record marked not present"));
+          } else {
+            finish(rec.data);
+          }
+        });
+  };
+  (*attempt)(0);
+}
+
+// --- Initialization ---
+
+void LogClient::Init(std::function<void(Status)> done) {
+  if (crashed_) {
+    sim_->After(0, [done = std::move(done)]() {
+      done(Status::Aborted("client crashed"));
+    });
+    return;
+  }
+  initialized_ = false;
+  auto st = std::make_shared<InitState>();
+  st->done = std::move(done);
+  st->generation = generation_;
+  ConnectAll();
+  StartIntervalGather(st);
+}
+
+void LogClient::FinishInit(std::shared_ptr<InitState> st, Status status) {
+  if (st->finished) return;
+  st->finished = true;
+  if (status.ok()) initialized_ = true;
+  st->done(status);
+}
+
+void LogClient::StartIntervalGather(std::shared_ptr<InitState> st) {
+  const int m = static_cast<int>(config_.servers.size());
+  const int needed = m - config_.copies + 1;
+  for (net::NodeId node : config_.servers) {
+    ServerLink* link = LinkOf(node);
+    wire::IntervalListReq req{config_.client_id};
+    link->rpc->Call(
+        [req](uint64_t id) { return wire::EncodeIntervalListReq(req, id); },
+        RpcOpts(),
+        [this, st, node, m, needed](Result<wire::Envelope> env) {
+          if (st->generation != generation_ || st->finished ||
+              st->intervals_done) {
+            return;
+          }
+          bool ok = false;
+          if (env.ok()) {
+            Result<wire::IntervalListResp> resp =
+                wire::DecodeIntervalListResp(env->body);
+            if (resp.ok() && resp->status == wire::RpcStatus::kOk) {
+              ok = true;
+              for (const Interval& iv : resp->intervals) {
+                st->intervals.push_back(ServerInterval{node, iv});
+              }
+            }
+          }
+          ok ? ++st->interval_ok : ++st->interval_fail;
+          if (st->interval_ok >= needed) {
+            st->intervals_done = true;
+            StartEpochAcquisition(st);
+          } else if (st->interval_fail > m - needed) {
+            st->intervals_done = true;
+            FinishInit(st, Status::Unavailable(
+                               "fewer than M-N+1 interval lists gathered"));
+          }
+        });
+  }
+}
+
+void LogClient::StartEpochAcquisition(std::shared_ptr<InitState> st) {
+  const int reps = static_cast<int>(config_.generator_reps.size());
+  const int read_quorum = (reps + 2) / 2;   // ceil((R+1)/2)
+  const int write_quorum = (reps + 1) / 2;  // ceil(R/2)
+
+  for (net::NodeId node : config_.generator_reps) {
+    ServerLink* link = LinkOf(node);
+    wire::GenReadReq req{config_.client_id};
+    link->rpc->Call(
+        [req](uint64_t id) { return wire::EncodeGenReadReq(req, id); },
+        RpcOpts(),
+        [this, st, reps, read_quorum, write_quorum](
+            Result<wire::Envelope> env) {
+          if (st->generation != generation_ || st->finished ||
+              st->gen_read_done) {
+            return;
+          }
+          bool ok = false;
+          if (env.ok()) {
+            Result<wire::GenReadResp> resp = wire::DecodeGenReadResp(env->body);
+            if (resp.ok() && resp->status == wire::RpcStatus::kOk) {
+              ok = true;
+              st->gen_max = std::max(st->gen_max, resp->value);
+            }
+          }
+          ok ? ++st->gen_read_ok : ++st->gen_read_fail;
+          if (st->gen_read_ok >= read_quorum) {
+            st->gen_read_done = true;
+            st->gen_value = st->gen_max + 1;
+            // Write phase.
+            for (net::NodeId wnode : config_.generator_reps) {
+              ServerLink* wlink = LinkOf(wnode);
+              wire::GenWriteReq wreq{config_.client_id, st->gen_value};
+              wlink->rpc->Call(
+                  [wreq](uint64_t id) {
+                    return wire::EncodeGenWriteReq(wreq, id);
+                  },
+                  RpcOpts(),
+                  [this, st, reps, write_quorum](Result<wire::Envelope> wenv) {
+                    if (st->generation != generation_ || st->finished ||
+                        st->gen_write_done) {
+                      return;
+                    }
+                    bool wok = false;
+                    if (wenv.ok()) {
+                      auto wresp = wire::DecodeGenWriteResp(wenv->body);
+                      wok = wresp.ok() &&
+                            wresp->status == wire::RpcStatus::kOk;
+                    }
+                    wok ? ++st->gen_write_ok : ++st->gen_write_fail;
+                    if (st->gen_write_ok >= write_quorum) {
+                      st->gen_write_done = true;
+                      StartRecoveryCopy(st);
+                    } else if (st->gen_write_fail > reps - write_quorum) {
+                      st->gen_write_done = true;
+                      FinishInit(st, Status::Unavailable(
+                                         "generator write quorum failed"));
+                    }
+                  });
+            }
+          } else if (st->gen_read_fail > reps - read_quorum) {
+            st->gen_read_done = true;
+            FinishInit(st, Status::Unavailable(
+                               "generator read quorum failed"));
+          }
+        });
+  }
+}
+
+void LogClient::StartRecoveryCopy(std::shared_ptr<InitState> st) {
+  view_ = MergedLogView::Build(st->intervals);
+  epoch_ = st->gen_value;
+  if (view_.MaxEpoch().has_value() && epoch_ <= *view_.MaxEpoch()) {
+    FinishInit(st, Status::Internal("generator epoch not above log epochs"));
+    return;
+  }
+
+  const std::optional<Lsn> high = view_.HighLsn();
+  if (!high.has_value()) {
+    next_lsn_ = 1;
+    ChooseWriteSet();
+    FinishInit(st, Status::OK());
+    return;
+  }
+  st->high = *high;
+
+  // The most recent δ records may each be partially written; read them
+  // all back (Section 4.2's generalization of the single-record copy).
+  const Lsn delta = std::min<Lsn>(config_.delta, st->high);
+  for (Lsn lsn = st->high - delta + 1; lsn <= st->high; ++lsn) {
+    st->tail_lsns.push_back(lsn);
+  }
+
+  // Sequential async read of each tail record.
+  auto read_next = std::make_shared<std::function<void()>>();
+  *read_next = [this, st, read_next]() {
+    if (st->generation != generation_ || st->finished) return;
+    if (st->tail_cursor >= st->tail_lsns.size()) {
+      // All tail records read: choose targets and copy.
+      ChooseWriteSet();
+      for (net::NodeId node : write_set_) st->targets.push_back(node);
+      if (st->targets.size() < static_cast<size_t>(config_.copies)) {
+        FinishInit(st, Status::Unavailable("not enough copy targets"));
+        return;
+      }
+
+      // Build the copy batch: δ tail records re-stamped with the new
+      // epoch, then δ not-present records above the old end of log.
+      std::vector<LogRecord> copies;
+      for (const auto& [lsn, rec] : st->tail_records) {
+        LogRecord copy = rec;
+        copy.epoch = epoch_;
+        copies.push_back(std::move(copy));
+      }
+      const Lsn delta2 = std::min<Lsn>(config_.delta, st->high);
+      for (Lsn lsn = st->high + 1; lsn <= st->high + delta2; ++lsn) {
+        LogRecord np;
+        np.lsn = lsn;
+        np.epoch = epoch_;
+        np.present = false;
+        copies.push_back(std::move(np));
+      }
+      next_lsn_ = st->high + delta2 + 1;
+
+      // Chunk the copies so each CopyLog call fits in a network packet.
+      std::vector<std::vector<LogRecord>> chunks;
+      {
+        std::vector<LogRecord> chunk;
+        size_t bytes = wire::RecordBatchOverhead();
+        for (const LogRecord& r : copies) {
+          const size_t cost = wire::EncodedRecordSize(r);
+          if (!chunk.empty() && bytes + cost > config_.mtu_payload) {
+            chunks.push_back(std::move(chunk));
+            chunk.clear();
+            bytes = wire::RecordBatchOverhead();
+          }
+          chunk.push_back(r);
+          bytes += cost;
+        }
+        if (!chunk.empty()) chunks.push_back(std::move(chunk));
+      }
+      const size_t copy_calls_needed =
+          chunks.size() * st->targets.size();
+
+      for (net::NodeId node : st->targets) {
+        ServerLink* link = LinkOf(node);
+        for (const std::vector<LogRecord>& chunk : chunks) {
+          wire::CopyLogReq creq;
+          creq.client = config_.client_id;
+          creq.epoch = epoch_;
+          creq.records = chunk;
+          link->rpc->Call(
+              [creq](uint64_t id) {
+                return wire::EncodeCopyLogReq(creq, id);
+              },
+              RpcOpts(),
+              [this, st, node, copies,
+               copy_calls_needed](Result<wire::Envelope> env) {
+                if (st->generation != generation_ || st->finished) return;
+                bool ok = false;
+                if (env.ok()) {
+                  auto resp = wire::DecodeCopyLogResp(env->body);
+                  ok = resp.ok() && resp->status == wire::RpcStatus::kOk;
+                }
+                if (!ok) {
+                  FinishInit(st, Status::Unavailable("CopyLog failed"));
+                  return;
+                }
+                if (++st->copy_acks < copy_calls_needed) {
+                  return;
+                }
+              // All copies staged: install everywhere.
+              for (net::NodeId inode : st->targets) {
+                ServerLink* ilink = LinkOf(inode);
+                wire::InstallCopiesReq ireq{config_.client_id, epoch_};
+                ilink->rpc->Call(
+                    [ireq](uint64_t id) {
+                      return wire::EncodeInstallCopiesReq(ireq, id);
+                    },
+                    RpcOpts(),
+                    [this, st, inode, copies](Result<wire::Envelope> ienv) {
+                      if (st->generation != generation_ || st->finished) {
+                        return;
+                      }
+                      bool iok = false;
+                      if (ienv.ok()) {
+                        auto iresp = wire::DecodeInstallCopiesResp(ienv->body);
+                        iok = iresp.ok() &&
+                              iresp->status == wire::RpcStatus::kOk;
+                      }
+                      if (!iok) {
+                        FinishInit(st, Status::Unavailable(
+                                           "InstallCopies failed"));
+                        return;
+                      }
+                      if (++st->install_acks <
+                          static_cast<size_t>(config_.copies)) {
+                        return;
+                      }
+                      // Recovery complete: update the cached view and the
+                      // per-link stream positions.
+                      for (const LogRecord& r : copies) {
+                        std::vector<ServerId> holders(st->targets.begin(),
+                                                      st->targets.end());
+                        view_.NoteWrite(r.lsn, r.epoch, holders);
+                      }
+                      for (net::NodeId tnode : st->targets) {
+                        ServerLink* tlink = LinkOf(tnode);
+                        tlink->sent_high = next_lsn_ - 1;
+                        tlink->acked_high =
+                            std::max(tlink->acked_high, next_lsn_ - 1);
+                      }
+                      FinishInit(st, Status::OK());
+                    });
+              }
+            });
+        }
+      }
+      return;
+    }
+
+    // Read one tail record from any holder.
+    const Lsn lsn = st->tail_lsns[st->tail_cursor];
+    const MergedLogView::Segment* seg = view_.Find(lsn);
+    if (seg == nullptr) {
+      // A hole inside the last δ records means the record was partially
+      // written and its holder did not answer IntervalList; it will be
+      // superseded by a not-present record. Synthesize nothing.
+      ++st->tail_cursor;
+      (*read_next)();
+      return;
+    }
+    auto holders = std::make_shared<std::vector<ServerId>>(seg->servers);
+    auto attempt = std::make_shared<std::function<void(size_t)>>();
+    *attempt = [this, st, read_next, attempt, holders, lsn](size_t index) {
+      if (st->generation != generation_ || st->finished) return;
+      if (index >= holders->size()) {
+        FinishInit(st,
+                   Status::Unavailable("no holder of a tail record answers"));
+        return;
+      }
+      ServerLink* link = LinkOf((*holders)[index]);
+      if (link == nullptr) {
+        (*attempt)(index + 1);
+        return;
+      }
+      EnsureConnected(link);
+      wire::ReadLogReq req{config_.client_id, lsn};
+      link->rpc->Call(
+          [req](uint64_t id) {
+            return wire::EncodeReadLogReq(
+                wire::MessageType::kReadLogForwardReq, req, id);
+          },
+          RpcOpts(),
+          [this, st, read_next, attempt, index,
+           lsn](Result<wire::Envelope> env) {
+            if (st->generation != generation_ || st->finished) return;
+            if (env.ok()) {
+              auto resp = wire::DecodeReadLogResp(env->body);
+              if (resp.ok() && resp->status == wire::RpcStatus::kOk &&
+                  !resp->records.empty() &&
+                  resp->records.front().lsn == lsn) {
+                st->tail_records[lsn] = resp->records.front();
+                ++st->tail_cursor;
+                (*read_next)();
+                return;
+              }
+            }
+            (*attempt)(index + 1);
+          });
+    };
+    (*attempt)(0);
+  };
+  (*read_next)();
+}
+
+void LogClient::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  initialized_ = false;
+  ++generation_;
+  if (retry_timer_ != 0) {
+    sim_->Cancel(retry_timer_);
+    retry_timer_ = 0;
+  }
+  force_waiters_.clear();
+  pending_.clear();
+  read_cache_.clear();
+  for (net::NodeId node : write_set_) LeaveWriteSetMember(node);
+  write_set_.clear();
+  links_.clear();  // RpcClient destructors fail pending calls (guarded)
+  endpoint_->Crash();
+  for (auto& nic : nics_) nic->SetUp(false);
+  for (size_t i = 0; i < networks_.size(); ++i) {
+    networks_[i]->Detach(config_.node_id);
+  }
+}
+
+}  // namespace dlog::client

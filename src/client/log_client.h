@@ -1,0 +1,269 @@
+#ifndef DLOG_CLIENT_LOG_CLIENT_H_
+#define DLOG_CLIENT_LOG_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/log_types.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/network.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "wire/connection.h"
+#include "wire/messages.h"
+#include "wire/rpc.h"
+
+namespace dlog::client {
+
+/// How the client picks a replacement when it abandons an unresponsive
+/// server (Section 5.4 leaves load assignment open; these are the
+/// "simple decentralized strategies" experiment E9 compares).
+enum class SelectionPolicy {
+  kStickyFailover,  // keep current set; replace with lowest-id available
+  kRoundRobin,      // rotate through the server list
+  kRandom,          // uniform random replacement
+  kLeastQueued,     // server with the least locally-queued traffic
+};
+
+/// Configuration of a replicated-log protocol client node.
+struct LogClientConfig {
+  ClientId client_id = 1;
+  net::NodeId node_id = 1000;
+  /// N — copies per record.
+  int copies = 2;
+  /// The M log server node ids.
+  std::vector<net::NodeId> servers;
+  /// Hosts of the generator state representatives (Appendix I). Empty
+  /// means the first min(3, M) servers.
+  std::vector<net::NodeId> generator_reps;
+  double cpu_mips = 2.0;
+  size_t nic_ring_slots = 16;
+  /// Packing budget for a record batch ("as many log records as will fit
+  /// in a network packet").
+  size_t mtu_payload = 1400;
+  /// δ — "the client must limit the number of records contained in
+  /// unacknowledged WriteLog and ForceLog messages to ensure that no more
+  /// than δ log records are partially written" (Section 4.2).
+  size_t delta = 16;
+  /// Force resend interval and how many resends before switching server.
+  sim::Duration force_timeout = 300 * sim::kMillisecond;
+  int force_retries = 3;
+  /// How long to avoid a server after abandoning it as unresponsive.
+  sim::Duration server_retry_backoff = 5 * sim::kSecond;
+  /// Synchronous-call (Figure 4-1 RPC) parameters.
+  sim::Duration rpc_timeout = 400 * sim::kMillisecond;
+  int rpc_attempts = 4;
+  SelectionPolicy policy = SelectionPolicy::kStickyFailover;
+  /// Section 4.1's multicast option: stream record batches once to a
+  /// multicast group containing the write set instead of N unicast
+  /// copies ("With the use of multicast, this amount would be
+  /// approximately halved"). Acknowledgments, gap repair, and all
+  /// synchronous calls stay unicast.
+  bool multicast_writes = false;
+  uint64_t seed = 1;
+  wire::WireConfig wire;
+};
+
+/// The asynchronous replicated-log client (Sections 3.1.2 + 4.2): buffers
+/// log records locally, streams them in packed WriteLog/ForceLog messages
+/// to N of M log servers, tracks per-server acknowledgments, resends or
+/// switches servers on silence, answers MissingInterval prompts, and
+/// performs the full client-initialization procedure (interval-list
+/// merge, new epoch via the replicated identifier generator, CopyLog /
+/// InstallCopies recovery of the last δ records).
+///
+/// All operations are asynchronous: they return immediately and invoke
+/// the supplied callback when the simulated protocol completes.
+class LogClient {
+ public:
+  LogClient(sim::Simulator* sim, const LogClientConfig& config);
+  ~LogClient();
+
+  LogClient(const LogClient&) = delete;
+  LogClient& operator=(const LogClient&) = delete;
+
+  /// Attaches to a network (twice for dual-network configurations).
+  void AttachNetwork(net::Network* network);
+
+  /// Client initialization (Section 3.1.2). `done` fires with OK once the
+  /// log is usable, or with an error (retry later — the paper's client
+  /// "can poll until it receives responses from enough servers").
+  void Init(std::function<void(Status)> done);
+
+  bool IsInitialized() const { return initialized_; }
+  Epoch current_epoch() const { return epoch_; }
+  /// The cached merged view of the replicated log (diagnostics/tests).
+  const MergedLogView& view() const { return view_; }
+
+  /// Appends a record to the local group buffer and returns its LSN
+  /// immediately. The record reaches log servers when a ForceLog covers
+  /// it or enough records accumulate to fill packets (grouping,
+  /// Section 4.1).
+  Result<Lsn> WriteLog(Bytes data);
+
+  /// Requests that all records up to `upto` become stable on N servers;
+  /// `done` fires when the last acknowledgment arrives.
+  void ForceLog(Lsn upto, std::function<void(Status)> done);
+
+  /// Reads a record via the cached merged view (one ServerReadLog in the
+  /// common case). Errors: OutOfRange beyond end of log, NotFound for
+  /// not-present records, Unavailable/TimedOut when no holder answers.
+  void ReadLog(Lsn lsn, std::function<void(Result<Bytes>)> done);
+
+  /// LSN of the most recently written (possibly still buffered) record.
+  Lsn EndOfLog() const { return next_lsn_ - 1; }
+
+  /// Log space management (Section 5.3): asks every server to discard
+  /// this client's records below `below`. The point is clamped so the
+  /// most recent δ records (needed by restart recovery) and anything not
+  /// yet fully replicated always survive. Returns the clamped point.
+  Lsn TruncateLog(Lsn below);
+
+  /// Media-failure repair (Section 5.3: "the repair of a log when one
+  /// redundant copy is lost"): re-gathers interval lists, finds records
+  /// with fewer than N holders, and re-replicates them to additional
+  /// servers via CopyLog/InstallCopies. `done` receives OK when every
+  /// under-replicated record has N holders again, or an error if some
+  /// could not be repaired (retry later).
+  void RepairLog(std::function<void(Status)> done);
+
+  /// Crashes the node: every volatile structure (buffers, view, epoch,
+  /// connections) is lost. A crashed client is dead; construct a new
+  /// LogClient with the same ids and Init() it to model the restart.
+  void Crash();
+
+  ClientId client_id() const { return config_.client_id; }
+
+  // --- Statistics ---
+  sim::Histogram& force_latency_ms() { return force_latency_ms_; }
+  sim::Counter& records_sent() { return records_sent_; }
+  sim::Counter& batches_sent() { return batches_sent_; }
+  sim::Counter& forces_completed() { return forces_completed_; }
+  sim::Counter& server_switches() { return server_switches_; }
+  sim::Counter& resends() { return resends_; }
+  uint64_t bytes_buffered() const { return bytes_buffered_; }
+
+ private:
+  struct ServerLink {
+    net::NodeId node = 0;
+    wire::Connection* conn = nullptr;
+    std::unique_ptr<wire::RpcClient> rpc;
+    /// Highest LSN this server acknowledged via NewHighLsn.
+    Lsn acked_high = 0;
+    /// Highest LSN streamed to this server in the current epoch.
+    Lsn sent_high = 0;
+    /// True if this link is in the current write set.
+    bool in_write_set = false;
+    int silent_rounds = 0;  // force-timeout rounds without progress
+    Lsn acked_at_last_round = 0;
+    /// Highest force point already prodded with an empty ForceLog (so a
+    /// force of already-streamed records elicits exactly one ack request;
+    /// the retry timer covers losses).
+    Lsn force_ping_high = 0;
+  };
+
+  struct PendingRecord {
+    LogRecord record;
+    std::set<net::NodeId> sent_to;
+    std::set<net::NodeId> acked_by;
+    sim::Time first_sent = 0;
+    bool forced = false;
+  };
+
+  struct ForceWaiter {
+    Lsn upto;
+    std::function<void(Status)> done;
+    sim::Time started;
+  };
+
+  // --- transport plumbing ---
+  void ConnectAll();
+  ServerLink* LinkOf(net::NodeId node);
+  void EnsureConnected(ServerLink* link);
+  void OnServerMessage(net::NodeId node, const Bytes& payload);
+  void OnNewHighLsn(ServerLink* link, Lsn high);
+  void OnMissingInterval(ServerLink* link, Lsn low, Lsn high);
+
+  // --- write pipeline ---
+  void ChooseWriteSet();
+  std::vector<ServerLink*> WriteSet();
+  net::NodeId PickReplacement(const std::set<net::NodeId>& exclude);
+  void PumpSends();
+  /// Sends every pending record in (from..] not yet sent to `link`,
+  /// packed into batches; marks the final batch ForceLog if a force is
+  /// outstanding.
+  void StreamTo(ServerLink* link);
+  /// Multicast mode: streams the common tail once to the write-set
+  /// group.
+  void StreamMulticast();
+  /// The multicast group carrying this client's record stream.
+  net::NodeId Group() const {
+    return net::kMulticastBase + config_.client_id;
+  }
+  void JoinWriteSetMember(net::NodeId node);
+  void LeaveWriteSetMember(net::NodeId node);
+  void CheckForceCompletion();
+  void ArmRetryTimer();
+  void OnRetryTimer();
+  void SwitchAwayFrom(ServerLink* link);
+  size_t UnackedSentRecords() const;
+
+  // --- init machinery ---
+  struct InitState;
+  struct RepairState;
+  void StartIntervalGather(std::shared_ptr<InitState> st);
+  void StartEpochAcquisition(std::shared_ptr<InitState> st);
+  void StartRecoveryCopy(std::shared_ptr<InitState> st);
+  void FinishInit(std::shared_ptr<InitState> st, Status status);
+
+  wire::RpcClient::CallOptions RpcOpts() const;
+
+  sim::Simulator* sim_;
+  LogClientConfig config_;
+  std::unique_ptr<sim::Cpu> cpu_;
+  std::unique_ptr<wire::Endpoint> endpoint_;
+  std::vector<std::unique_ptr<net::Nic>> nics_;
+  std::vector<net::Network*> networks_;
+  Rng rng_;
+
+  bool crashed_ = false;
+  bool initialized_ = false;
+  uint64_t generation_ = 0;
+  Epoch epoch_ = 0;
+  Lsn next_lsn_ = 1;
+  MergedLogView view_;
+  std::map<net::NodeId, ServerLink> links_;
+  std::vector<net::NodeId> write_set_;
+  size_t round_robin_cursor_ = 0;
+  /// Servers recently abandoned as unresponsive, with the time until
+  /// which they should not be re-chosen.
+  std::map<net::NodeId, sim::Time> avoid_until_;
+
+  std::map<Lsn, PendingRecord> pending_;
+  std::deque<ForceWaiter> force_waiters_;
+  sim::EventId retry_timer_ = 0;
+  /// Small cache of records brought back by ReadLogForward packing.
+  std::map<Lsn, LogRecord> read_cache_;
+
+  sim::Histogram force_latency_ms_;
+  sim::Counter records_sent_;
+  sim::Counter batches_sent_;
+  sim::Counter forces_completed_;
+  sim::Counter server_switches_;
+  sim::Counter resends_;
+  uint64_t bytes_buffered_ = 0;
+};
+
+}  // namespace dlog::client
+
+#endif  // DLOG_CLIENT_LOG_CLIENT_H_

@@ -1,0 +1,117 @@
+#ifndef DLOG_COMMON_BYTES_H_
+#define DLOG_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dlog {
+
+/// A byte buffer used for message and disk-record encoding.
+using Bytes = std::vector<uint8_t>;
+
+/// Appends fixed-width little-endian integers and length-prefixed blobs to
+/// a Bytes buffer. All dlog on-wire and on-disk encodings go through this.
+class Encoder {
+ public:
+  explicit Encoder(Bytes* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU16(uint16_t v) { PutLE(v, 2); }
+  void PutU32(uint32_t v) { PutLE(v, 4); }
+  void PutU64(uint64_t v) { PutLE(v, 8); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Length-prefixed (u32) byte string.
+  void PutBlob(const uint8_t* data, size_t n) {
+    PutU32(static_cast<uint32_t>(n));
+    out_->insert(out_->end(), data, data + n);
+  }
+  void PutBlob(const Bytes& b) { PutBlob(b.data(), b.size()); }
+  void PutString(std::string_view s) {
+    PutBlob(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+ private:
+  void PutLE(uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes* out_;
+};
+
+/// Consumes values previously written by Encoder. All getters return a
+/// Status error (never crash) on truncated input so that corrupt packets
+/// and disk blocks are survivable.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit Decoder(const Bytes& b) : Decoder(b.data(), b.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+
+  Result<uint8_t> GetU8() {
+    if (remaining() < 1) return Truncated();
+    return data_[pos_++];
+  }
+  Result<uint16_t> GetU16() { return GetLE<uint16_t>(2); }
+  Result<uint32_t> GetU32() { return GetLE<uint32_t>(4); }
+  Result<uint64_t> GetU64() { return GetLE<uint64_t>(8); }
+  Result<bool> GetBool() {
+    DLOG_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+    return v != 0;
+  }
+
+  Result<Bytes> GetBlob() {
+    DLOG_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+    if (remaining() < n) return Truncated();
+    Bytes out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  Result<std::string> GetString() {
+    DLOG_ASSIGN_OR_RETURN(Bytes b, GetBlob());
+    return std::string(b.begin(), b.end());
+  }
+
+ private:
+  static Status Truncated() {
+    return Status::Corruption("decode past end of buffer");
+  }
+
+  template <typename T>
+  Result<T> GetLE(int width) {
+    if (remaining() < static_cast<size_t>(width)) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += width;
+    return static_cast<T>(v);
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+/// Convenience: builds a Bytes from a string literal/payload.
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+inline std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace dlog
+
+#endif  // DLOG_COMMON_BYTES_H_

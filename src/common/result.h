@@ -1,0 +1,70 @@
+#ifndef DLOG_COMMON_RESULT_H_
+#define DLOG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dlog {
+
+/// Result<T> carries either a value of type T or a non-OK Status.
+/// The OK state always holds a value; the error state never does.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  /// Must not be called with an OK status.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define DLOG_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto DLOG_CONCAT_(_res_, __LINE__) = (expr);        \
+  if (!DLOG_CONCAT_(_res_, __LINE__).ok())            \
+    return DLOG_CONCAT_(_res_, __LINE__).status();    \
+  lhs = std::move(DLOG_CONCAT_(_res_, __LINE__)).value()
+
+#define DLOG_CONCAT_(a, b) DLOG_CONCAT_IMPL_(a, b)
+#define DLOG_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dlog
+
+#endif  // DLOG_COMMON_RESULT_H_

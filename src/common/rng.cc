@@ -1,0 +1,15 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace dlog {
+
+double Rng::NextExponential(double mean) {
+  assert(mean > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+}  // namespace dlog

@@ -1,0 +1,108 @@
+#ifndef DLOG_COMMON_STATUS_H_
+#define DLOG_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dlog {
+
+/// Error categories used across the dlog library. The set is deliberately
+/// small; detail goes in the message.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,         // e.g., ReadLog of an LSN never written
+  kInvalidArgument,  // caller error
+  kOutOfRange,       // LSN beyond end of log, disk address out of bounds
+  kUnavailable,      // not enough servers up / server shedding load
+  kCorruption,       // checksum mismatch, malformed record
+  kFailedPrecondition,  // operation illegal in current state
+  kAborted,          // operation abandoned (e.g., crash injected)
+  kTimedOut,         // no reply within the retry budget
+  kResourceExhausted,   // buffer/disk full
+  kInternal,         // invariant violation inside dlog
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Status is the error-handling currency of dlog (no exceptions cross any
+/// dlog API boundary). It is cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// Propagates a non-OK status to the caller. Use inside functions that
+/// themselves return Status.
+#define DLOG_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::dlog::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace dlog
+
+#endif  // DLOG_COMMON_STATUS_H_

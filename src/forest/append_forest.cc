@@ -1,0 +1,182 @@
+#include "forest/append_forest.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlog::forest {
+namespace {
+
+/// Number of nodes in a complete tree of height h (leaf = 0).
+uint64_t CompleteSize(uint32_t height) {
+  return (uint64_t{1} << (height + 1)) - 1;
+}
+
+}  // namespace
+
+Status AppendForest::Append(Key key_low, Key key_high, Value value) {
+  if (key_high < key_low) {
+    return Status::InvalidArgument("key_high < key_low");
+  }
+  if (!nodes_.empty() && key_low != nodes_.back().key_high + 1) {
+    return Status::InvalidArgument(
+        "keys must be appended in strictly increasing, gap-free order");
+  }
+
+  Node node;
+  node.key_low = key_low;
+  node.key_high = key_high;
+  node.value = value;
+
+  // Reconstruct the two rightmost roots from the node array: the overall
+  // root is the last node; the tree to its left is found via its forest
+  // pointer. (We keep no auxiliary mutable state: everything needed is in
+  // the append-only array, as write-once storage requires.)
+  if (!nodes_.empty()) {
+    const uint64_t right_root = nodes_.size() - 1;
+    const uint64_t left_root = nodes_[right_root].forest;
+    if (left_root != kNil &&
+        nodes_[left_root].height == nodes_[right_root].height) {
+      // The two smallest trees have equal height: the new node becomes
+      // their parent, forming a complete tree one taller.
+      node.left = left_root;
+      node.right = right_root;
+      node.height = nodes_[right_root].height + 1;
+      node.forest = nodes_[left_root].forest;
+    } else {
+      // New singleton tree; link it to the previous overall root.
+      node.height = 0;
+      node.forest = right_root;
+    }
+  }
+  nodes_.push_back(node);
+  return Status::OK();
+}
+
+std::vector<uint64_t> AppendForest::Roots() const {
+  std::vector<uint64_t> roots;
+  if (nodes_.empty()) return roots;
+  uint64_t cur = nodes_.size() - 1;
+  while (cur != kNil) {
+    roots.push_back(cur);
+    cur = nodes_[cur].forest;
+  }
+  return roots;
+}
+
+Result<AppendForest::Node> AppendForest::Find(Key key) const {
+  uint64_t traversals = 0;
+  return FindCounted(key, &traversals);
+}
+
+Result<AppendForest::Node> AppendForest::FindCounted(
+    Key key, uint64_t* traversals) const {
+  *traversals = 0;
+  if (nodes_.empty()) return Status::NotFound("empty forest");
+  if (key > nodes_.back().key_high || key < nodes_.front().key_low) {
+    return Status::NotFound("key outside appended range");
+  }
+
+  // A complete tree's nodes occupy a contiguous suffix of the append
+  // order ending at its root, so the subtree minimum is computable from
+  // the root index and height alone.
+  auto tree_min = [this](uint64_t root) -> Key {
+    const uint64_t first = root - (CompleteSize(nodes_[root].height) - 1);
+    return nodes_[first].key_low;
+  };
+
+  // Phase 1: walk the forest-pointer chain from the overall root until a
+  // tree that (potentially) contains the key.
+  uint64_t cur = nodes_.size() - 1;
+  while (key < tree_min(cur)) {
+    cur = nodes_[cur].forest;
+    ++*traversals;
+    if (cur == kNil) return Status::NotFound("key below all trees");
+  }
+
+  // Phase 2: binary-search the complete tree.
+  while (true) {
+    const Node& n = nodes_[cur];
+    if (key >= n.key_low && key <= n.key_high) return n;
+    if (n.left == kNil) {
+      return Status::NotFound("key not indexed");  // unreachable: gap-free
+    }
+    ++*traversals;
+    cur = (key >= tree_min(n.right)) ? n.right : n.left;
+  }
+}
+
+Status AppendForest::CheckInvariants() const {
+  if (nodes_.empty()) return Status::OK();
+
+  // Key ranges are gap-free and increasing in append order.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.key_high < n.key_low) {
+      return Status::Internal("node with inverted key range");
+    }
+    if (i > 0 && n.key_low != nodes_[i - 1].key_high + 1) {
+      return Status::Internal("key ranges not contiguous in append order");
+    }
+  }
+
+  // Forest structure: roots right-to-left have strictly decreasing
+  // heights except the two rightmost, which may tie.
+  std::vector<uint64_t> roots = Roots();
+  for (size_t i = 0; i + 1 < roots.size(); ++i) {
+    const uint32_t right_h = nodes_[roots[i]].height;
+    const uint32_t left_h = nodes_[roots[i + 1]].height;
+    if (i == 0) {
+      if (left_h < right_h) {
+        return Status::Internal("forest heights increase leftward only");
+      }
+    } else if (left_h <= right_h) {
+      return Status::Internal(
+          "only the two smallest trees may share a height");
+    }
+  }
+
+  // Per-node structural checks.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if ((n.left == kNil) != (n.right == kNil)) {
+      return Status::Internal("node with exactly one son");
+    }
+    if (n.height == 0 && n.left != kNil) {
+      return Status::Internal("leaf with sons");
+    }
+    if (n.height > 0) {
+      if (n.left == kNil) return Status::Internal("internal node no sons");
+      const Node& l = nodes_[n.left];
+      const Node& r = nodes_[n.right];
+      if (l.height != n.height - 1 || r.height != n.height - 1) {
+        return Status::Internal("son height mismatch");
+      }
+      // Property 1: root key greater than all descendants' keys.
+      // Property 2: right subtree keys greater than left subtree keys.
+      if (!(l.key_high < r.key_high && r.key_high < n.key_low)) {
+        return Status::Internal("BST key properties violated");
+      }
+      if (n.left >= i || n.right >= i) {
+        return Status::Internal("son appended after parent");
+      }
+      // Sons of a complete tree are adjacent suffixes.
+      if (n.right != i - 1) {
+        return Status::Internal("right son must immediately precede root");
+      }
+      if (n.left != i - CompleteSize(n.height - 1) - 1) {
+        return Status::Internal("left son at wrong offset");
+      }
+    }
+  }
+
+  // Every node is reachable from the overall root: complete trees are
+  // contiguous, so reachability follows from root/size arithmetic.
+  uint64_t covered = 0;
+  for (uint64_t root : roots) covered += CompleteSize(nodes_[root].height);
+  if (covered != nodes_.size()) {
+    return Status::Internal("trees do not partition the node array");
+  }
+  return Status::OK();
+}
+
+}  // namespace dlog::forest

@@ -1,0 +1,93 @@
+#ifndef DLOG_FOREST_APPEND_FOREST_H_
+#define DLOG_FOREST_APPEND_FOREST_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dlog::forest {
+
+/// The append-forest of Section 4.3: an index over an append-only medium
+/// giving "logarithmic read access to records" while "new records may be
+/// added ... in constant time using append only storage, providing that
+/// keys are appended to the tree in strictly increasing order."
+///
+/// A complete append forest (2^n - 1 nodes) is a binary search tree where
+///   1. the key of the root of any subtree is greater than all its
+///      descendants' keys, and
+///   2. all keys in the right subtree of any node are greater than all
+///      keys in the left subtree.
+/// An incomplete append forest is a forest of at most n+1 complete trees
+/// of non-increasing height (only the two smallest may share a height),
+/// linked right-to-left by per-node "forest pointers".
+///
+/// Nodes live in an append-only array (modeling write-once storage): a
+/// node, once appended, is never modified. Each node indexes a contiguous
+/// key range [key_low, key_high] and carries an opaque value (in the log
+/// server, the disk location of the records in that LSN range).
+class AppendForest {
+ public:
+  using Key = uint64_t;
+  using Value = uint64_t;
+
+  /// One immutable node of the forest as laid out on append-only storage.
+  struct Node {
+    Key key_low = 0;    // lowest key indexed by this node
+    Key key_high = 0;   // highest key (the node's BST key)
+    Value value = 0;    // opaque payload for the range
+    /// Position of the left/right sons in the node array, or kNil.
+    /// Leaves have no sons.
+    uint64_t left = kNil;
+    uint64_t right = kNil;
+    /// Forest pointer: the root of the next tree to the left at the time
+    /// this node was the overall root, or kNil.
+    uint64_t forest = kNil;
+    /// Height of the complete tree rooted here (leaf = 0).
+    uint32_t height = 0;
+  };
+
+  static constexpr uint64_t kNil = ~uint64_t{0};
+
+  AppendForest() = default;
+
+  /// Appends a node covering keys [key_low, key_high]; key_low must be
+  /// exactly one past the previous node's key_high (strictly increasing,
+  /// gap-free append order), except for the first node.
+  Status Append(Key key_low, Key key_high, Value value);
+
+  /// Convenience for single-key appends.
+  Status Append(Key key, Value value) { return Append(key, key, value); }
+
+  /// Finds the node whose range contains `key`. NotFound if the key is
+  /// outside every appended range.
+  Result<Node> Find(Key key) const;
+
+  /// Like Find but also reports how many pointer traversals the search
+  /// made (for the O(log n) measurements of experiment E6).
+  Result<Node> FindCounted(Key key, uint64_t* traversals) const;
+
+  /// Number of nodes appended.
+  uint64_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// The roots of the trees currently in the forest, rightmost (largest
+  /// keys, most recent) first — i.e., the chain of forest pointers from
+  /// the overall root.
+  std::vector<uint64_t> Roots() const;
+
+  /// Direct node access (for tests and for persisting to storage).
+  const Node& node(uint64_t index) const { return nodes_[index]; }
+
+  /// Verifies all structural invariants; used by property tests.
+  Status CheckInvariants() const;
+
+ private:
+  std::vector<Node> nodes_;  // append-only; index == append order
+};
+
+}  // namespace dlog::forest
+
+#endif  // DLOG_FOREST_APPEND_FOREST_H_

@@ -1,0 +1,53 @@
+#include "harness/cluster.h"
+
+namespace dlog::harness {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  for (int i = 0; i < config.num_networks; ++i) {
+    net::NetworkConfig net_cfg = config.network;
+    net_cfg.seed = config.seed * 1000 + i;
+    networks_.push_back(std::make_unique<net::Network>(&sim_, net_cfg));
+  }
+  for (int i = 0; i < config.num_servers; ++i) {
+    server::LogServerConfig server_cfg = config.server;
+    server_cfg.node_id = static_cast<net::NodeId>(i + 1);
+    auto server = std::make_unique<server::LogServer>(&sim_, server_cfg);
+    for (auto& network : networks_) server->AttachNetwork(network.get());
+    servers_.push_back(std::move(server));
+  }
+}
+
+std::vector<net::NodeId> Cluster::server_ids() const {
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < static_cast<int>(servers_.size()); ++i) {
+    ids.push_back(static_cast<net::NodeId>(i + 1));
+  }
+  return ids;
+}
+
+std::unique_ptr<client::LogClient> Cluster::MakeClient(
+    client::LogClientConfig config) {
+  if (config.servers.empty()) config.servers = server_ids();
+  if (config.node_id == 1000 || config.node_id == 0) {
+    config.node_id = next_client_node_;
+  }
+  ++next_client_node_;
+  auto log_client = std::make_unique<client::LogClient>(&sim_, config);
+  for (auto& network : networks_) log_client->AttachNetwork(network.get());
+  return log_client;
+}
+
+bool Cluster::RunUntil(std::function<bool()> fn, sim::Duration timeout) {
+  const sim::Time deadline = sim_.Now() + timeout;
+  while (!fn()) {
+    if (sim_.Now() >= deadline) return false;
+    if (!sim_.Step()) {
+      // Queue drained: advance in small hops so timers parked beyond the
+      // horizon don't stall the predicate.
+      return fn();
+    }
+  }
+  return true;
+}
+
+}  // namespace dlog::harness

@@ -1,0 +1,66 @@
+#ifndef DLOG_HARNESS_CLUSTER_H_
+#define DLOG_HARNESS_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "client/log_client.h"
+#include "net/network.h"
+#include "server/log_server.h"
+#include "sim/simulator.h"
+
+namespace dlog::harness {
+
+/// Configuration for a simulated deployment: M log servers on one or two
+/// local networks, plus any number of client nodes created afterwards.
+struct ClusterConfig {
+  int num_servers = 3;
+  /// Two networks reproduce the paper's dual-LAN availability setup.
+  int num_networks = 1;
+  net::NetworkConfig network;
+  /// Template applied to every server (node_id is overwritten).
+  server::LogServerConfig server;
+  uint64_t seed = 1;
+};
+
+/// Owns a Simulator, the networks, and the log server nodes of one
+/// experiment. Client nodes are created on demand and wired to every
+/// network. Server node ids are 1..M; client node ids start at 1000.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network(int i = 0) { return *networks_[i]; }
+  int num_networks() const { return static_cast<int>(networks_.size()); }
+
+  /// 1-based server access matching the paper's figures.
+  server::LogServer& server(int id) { return *servers_[id - 1]; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  std::vector<net::NodeId> server_ids() const;
+
+  /// Creates a client attached to every network. `config.servers` and
+  /// `config.node_id` are filled in automatically (node ids 1000, 1001,
+  /// ... in creation order) unless already set.
+  std::unique_ptr<client::LogClient> MakeClient(
+      client::LogClientConfig config = {});
+
+  /// Runs the simulator until `fn` returns true or `timeout` elapses;
+  /// returns whether the predicate held.
+  bool RunUntil(std::function<bool()> fn,
+                sim::Duration timeout = 30 * sim::kSecond);
+
+ private:
+  sim::Simulator sim_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<net::Network>> networks_;
+  std::vector<std::unique_ptr<server::LogServer>> servers_;
+  net::NodeId next_client_node_ = 1000;
+};
+
+}  // namespace dlog::harness
+
+#endif  // DLOG_HARNESS_CLUSTER_H_

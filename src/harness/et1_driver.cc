@@ -1,0 +1,65 @@
+#include "harness/et1_driver.h"
+
+namespace dlog::harness {
+
+Et1Driver::Et1Driver(Cluster* cluster, client::LogClientConfig log_config,
+                     const Et1DriverConfig& config)
+    : cluster_(cluster), config_(config), rng_(config.seed) {
+  log_ = cluster->MakeClient(log_config);
+  logger_ = std::make_unique<tp::ReplicatedTxnLogger>(log_.get());
+  page_disk_ = std::make_unique<tp::PageDisk>(config.engine.page_bytes);
+  engine_ = std::make_unique<tp::TransactionEngine>(
+      &cluster->sim(), logger_.get(), page_disk_.get(), config.engine);
+  bank_ = std::make_unique<tp::BankDb>(engine_.get(), config.bank);
+}
+
+Et1Driver::~Et1Driver() { stopped_ = true; }
+
+void Et1Driver::Start() {
+  log_->Init([this](Status st) {
+    if (!st.ok()) {
+      // Keep polling: "the client process can poll until it receives
+      // responses from enough servers."
+      cluster_->sim().After(500 * sim::kMillisecond,
+                            [this]() { if (!stopped_) Start(); });
+      return;
+    }
+    started_ = true;
+    ScheduleNext();
+  });
+}
+
+void Et1Driver::Stop() { stopped_ = true; }
+
+void Et1Driver::ScheduleNext() {
+  if (stopped_) return;
+  const double mean_gap_s = 1.0 / config_.tps;
+  const double gap_s =
+      config_.poisson ? rng_.NextExponential(mean_gap_s) : mean_gap_s;
+  cluster_->sim().After(sim::SecondsToDuration(gap_s), [this]() {
+    if (stopped_) return;
+    RunOne();
+    ScheduleNext();
+  });
+}
+
+void Et1Driver::RunOne() {
+  const int account =
+      static_cast<int>(rng_.NextBelow(config_.bank.accounts));
+  const int teller = static_cast<int>(rng_.NextBelow(config_.bank.tellers));
+  const int branch =
+      static_cast<int>(rng_.NextBelow(config_.bank.branches));
+  const int64_t delta = static_cast<int64_t>(rng_.NextBelow(200)) - 100;
+  const sim::Time start = cluster_->sim().Now();
+  bank_->RunEt1(account, teller, branch, delta, [this, start](Status st) {
+    if (st.ok()) {
+      ++committed_;
+      txn_latency_ms_.Add(
+          sim::DurationToSeconds(cluster_->sim().Now() - start) * 1e3);
+    } else {
+      ++failed_;
+    }
+  });
+}
+
+}  // namespace dlog::harness

@@ -1,0 +1,127 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlog::net {
+
+Network::Network(sim::Simulator* sim, const NetworkConfig& config)
+    : sim_(sim), config_(config), rng_(config.seed) {
+  assert(config.bandwidth_bits_per_sec > 0);
+}
+
+void Network::Attach(NodeId id, Nic* nic) {
+  assert(!IsMulticast(id));
+  assert(nodes_.find(id) == nodes_.end());
+  nodes_[id] = nic;
+}
+
+void Network::Detach(NodeId id) { nodes_.erase(id); }
+
+void Network::JoinGroup(NodeId group, NodeId member) {
+  assert(IsMulticast(group));
+  groups_[group].insert(member);
+}
+
+void Network::LeaveGroup(NodeId group, NodeId member) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) it->second.erase(member);
+}
+
+void Network::Send(const Packet& packet) {
+  if (packet.payload.size() > config_.mtu_bytes) {
+    packets_oversized_.Increment();
+    return;
+  }
+  packets_sent_.Increment();
+
+  const uint64_t bits =
+      static_cast<uint64_t>(packet.WireSize(config_.header_bytes)) * 8;
+  bits_sent_ += bits;
+
+  // Serialize transmissions on the shared medium.
+  const sim::Duration tx_time = sim::SecondsToDuration(
+      static_cast<double>(bits) / config_.bandwidth_bits_per_sec);
+  const sim::Time tx_start = std::max(sim_->Now(), medium_free_at_);
+  medium_free_at_ = tx_start + tx_time;
+  const sim::Time arrival = medium_free_at_ + config_.propagation_delay;
+
+  if (IsMulticast(packet.dst)) {
+    auto it = groups_.find(packet.dst);
+    if (it == groups_.end()) return;
+    for (NodeId member : it->second) {
+      if (member == packet.src) continue;
+      DeliverTo(member, packet, arrival);
+    }
+  } else {
+    DeliverTo(packet.dst, packet, arrival);
+  }
+}
+
+void Network::DeliverTo(NodeId dst, const Packet& packet,
+                        sim::Time arrival) {
+  auto it = nodes_.find(dst);
+  if (it == nodes_.end()) {
+    packets_lost_.Increment();
+    return;
+  }
+  int copies = 1;
+  if (config_.loss_probability > 0 &&
+      rng_.Bernoulli(config_.loss_probability)) {
+    packets_lost_.Increment();
+    copies = 0;
+  } else if (config_.duplicate_probability > 0 &&
+             rng_.Bernoulli(config_.duplicate_probability)) {
+    copies = 2;
+  }
+  Nic* nic = it->second;
+  for (int i = 0; i < copies; ++i) {
+    Packet copy = packet;
+    packets_delivered_.Increment();
+    sim_->At(arrival + static_cast<sim::Duration>(i) * sim::kMicrosecond,
+             [nic, copy = std::move(copy)]() { nic->Deliver(copy); });
+  }
+}
+
+double Network::Utilization() const {
+  const sim::Duration elapsed = sim_->Now() - start_time_;
+  if (elapsed == 0) return 0.0;
+  const double capacity_bits =
+      config_.bandwidth_bits_per_sec * sim::DurationToSeconds(elapsed);
+  if (capacity_bits <= 0) return 0.0;
+  return static_cast<double>(bits_sent_) / capacity_bits;
+}
+
+Nic::Nic(sim::Simulator* sim, size_t ring_slots)
+    : sim_(sim), ring_slots_(ring_slots) {
+  assert(ring_slots > 0);
+}
+
+void Nic::SetUp(bool up) {
+  up_ = up;
+  if (!up) ring_in_use_ = 0;  // power cycle clears the ring
+}
+
+void Nic::Deliver(const Packet& packet) {
+  if (!up_) {
+    down_drops_.Increment();
+    return;
+  }
+  if (ring_in_use_ >= ring_slots_) {
+    overflow_drops_.Increment();
+    return;
+  }
+  ++ring_in_use_;
+  packets_received_.Increment();
+  if (handler_) {
+    handler_(packet);
+  } else {
+    CompleteReceive();
+  }
+}
+
+void Nic::CompleteReceive() {
+  if (ring_in_use_ > 0) --ring_in_use_;
+}
+
+}  // namespace dlog::net

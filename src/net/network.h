@@ -1,0 +1,144 @@
+#ifndef DLOG_NET_NETWORK_H_
+#define DLOG_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace dlog::net {
+
+class Nic;
+
+/// Configuration of one simulated local-area network (Section 2: a high
+/// speed LAN; Section 4.1 assumes ~10 megabits/second Ethernet-class
+/// media, possibly upgraded to ~100 Mbit fiber).
+struct NetworkConfig {
+  double bandwidth_bits_per_sec = 10e6;   // 10 Mbit/s Ethernet class
+  sim::Duration propagation_delay = 50 * sim::kMicrosecond;
+  double loss_probability = 0.0;          // per-delivery independent loss
+  double duplicate_probability = 0.0;     // per-delivery duplication
+  size_t header_bytes = 32;               // link + protocol header overhead
+  size_t mtu_bytes = 1500;                // maximum payload size
+  uint64_t seed = 1;                      // drives loss/duplication draws
+};
+
+/// A shared-medium local network: one transmission at a time (like an
+/// Ethernet segment), so aggregate offered load beyond the bandwidth
+/// queues senders. Supports unicast and multicast delivery, independent
+/// per-delivery loss, and duplication.
+///
+/// For the paper's dual-network availability configuration, instantiate
+/// two Networks and attach each node's two Nics.
+class Network {
+ public:
+  Network(sim::Simulator* sim, const NetworkConfig& config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attaches a NIC under the given address. The address must be unused
+  /// and must not be a multicast id.
+  void Attach(NodeId id, Nic* nic);
+  /// Detaches a NIC (e.g., permanent node removal).
+  void Detach(NodeId id);
+
+  /// Adds/removes `member` to the multicast group `group`
+  /// (group >= kMulticastBase).
+  void JoinGroup(NodeId group, NodeId member);
+  void LeaveGroup(NodeId group, NodeId member);
+
+  /// Transmits a packet. The sender queues behind in-progress
+  /// transmissions (shared medium); each receiver independently
+  /// experiences loss/duplication. Oversized payloads (> mtu) are a
+  /// programming error at the wire layer and are dropped with a count.
+  void Send(const Packet& packet);
+
+  const NetworkConfig& config() const { return config_; }
+
+  /// Total payload+header bits accepted for transmission.
+  uint64_t bits_sent() const { return bits_sent_; }
+  /// Offered-load utilization of the medium since construction.
+  double Utilization() const;
+
+  sim::Counter& packets_sent() { return packets_sent_; }
+  sim::Counter& packets_delivered() { return packets_delivered_; }
+  sim::Counter& packets_lost() { return packets_lost_; }
+  sim::Counter& packets_oversized() { return packets_oversized_; }
+
+ private:
+  void DeliverTo(NodeId dst, const Packet& packet, sim::Time arrival);
+
+  sim::Simulator* sim_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::map<NodeId, Nic*> nodes_;
+  std::map<NodeId, std::set<NodeId>> groups_;
+  sim::Time medium_free_at_ = 0;
+  uint64_t bits_sent_ = 0;
+  sim::Time start_time_ = 0;
+  sim::Counter packets_sent_;
+  sim::Counter packets_delivered_;
+  sim::Counter packets_lost_;
+  sim::Counter packets_oversized_;
+};
+
+/// A network interface with a finite receive ring. Section 4.1: "Log
+/// servers will frequently encounter back to back requests, and so must
+/// have sophisticated network interfaces that can buffer multiple
+/// packets." Packets arriving while the ring is full are dropped and
+/// counted. The endpoint must call CompleteReceive() when it has finished
+/// processing a delivered packet, freeing the ring slot.
+class Nic {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+
+  /// `ring_slots` is the number of packets the interface can buffer.
+  Nic(sim::Simulator* sim, size_t ring_slots);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  /// Installs the receive callback. The callback is responsible for
+  /// eventually calling CompleteReceive() exactly once per invocation.
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Powers the interface on/off. A down NIC drops all traffic; used for
+  /// node crash injection.
+  void SetUp(bool up);
+  bool IsUp() const { return up_; }
+
+  /// Called by Network to hand over an arriving packet.
+  void Deliver(const Packet& packet);
+
+  /// Frees one receive-ring slot.
+  void CompleteReceive();
+
+  size_t ring_in_use() const { return ring_in_use_; }
+  sim::Counter& overflow_drops() { return overflow_drops_; }
+  sim::Counter& down_drops() { return down_drops_; }
+  sim::Counter& packets_received() { return packets_received_; }
+
+ private:
+  sim::Simulator* sim_;
+  size_t ring_slots_;
+  size_t ring_in_use_ = 0;
+  bool up_ = true;
+  Handler handler_;
+  sim::Counter overflow_drops_;
+  sim::Counter down_drops_;
+  sim::Counter packets_received_;
+};
+
+}  // namespace dlog::net
+
+#endif  // DLOG_NET_NETWORK_H_

@@ -1,0 +1,35 @@
+#ifndef DLOG_NET_PACKET_H_
+#define DLOG_NET_PACKET_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dlog::net {
+
+/// Identifies a node on the simulated local network. Ids at or above
+/// kMulticastBase name multicast groups instead of single nodes.
+using NodeId = uint32_t;
+
+/// Destination ids >= kMulticastBase address multicast groups.
+constexpr NodeId kMulticastBase = 0x80000000u;
+
+/// Returns true if `id` names a multicast group.
+inline bool IsMulticast(NodeId id) { return id >= kMulticastBase; }
+
+/// A network packet. The payload is an opaque byte string produced by the
+/// wire layer; the network only looks at sizes and addresses.
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Bytes payload;
+
+  /// Total bytes on the wire, including link-level header/trailer.
+  size_t WireSize(size_t header_bytes) const {
+    return payload.size() + header_bytes;
+  }
+};
+
+}  // namespace dlog::net
+
+#endif  // DLOG_NET_PACKET_H_

@@ -1,0 +1,145 @@
+#include "server/client_log_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlog::server {
+
+void ClientLogStore::AppendToStream(const LogRecord& record) {
+  index_[{record.lsn, record.epoch}] = stream_.size();
+  stream_.push_back(record);
+  if (!sequences_.empty()) {
+    Interval& tail = sequences_.back();
+    if (tail.epoch == record.epoch && record.lsn == tail.high + 1) {
+      tail.high = record.lsn;
+      return;
+    }
+  }
+  sequences_.push_back(Interval{record.epoch, record.lsn, record.lsn});
+}
+
+Status ClientLogStore::Write(const LogRecord& record) {
+  if (record.lsn == kNoLsn) {
+    return Status::InvalidArgument("LSN 0 is reserved");
+  }
+  auto it = index_.find({record.lsn, record.epoch});
+  if (it != index_.end()) {
+    if (stream_[it->second] == record) return Status::OK();  // redelivery
+    return Status::Corruption(
+        "different contents for an existing <LSN, Epoch>");
+  }
+  if (!sequences_.empty()) {
+    const Interval& tail = sequences_.back();
+    // Keep both LSN and epoch non-decreasing along the stream. A repeat
+    // of the tail LSN is legal only with a higher epoch (the recovery
+    // re-copy of the highest record, e.g. <9,4> after <9,3> in Fig 3-3).
+    if (record.epoch < tail.epoch) {
+      return Status::FailedPrecondition("epoch lower than tail sequence");
+    }
+    if (record.lsn <= tail.high &&
+        !(record.lsn == tail.high && record.epoch > tail.epoch)) {
+      return Status::FailedPrecondition("LSN not beyond the stream tail");
+    }
+  }
+  AppendToStream(record);
+  return Status::OK();
+}
+
+Result<LogRecord> ClientLogStore::Read(Lsn lsn) const {
+  // Highest epoch stored for this LSN: one before the first key > <lsn, max>.
+  auto it = index_.upper_bound({lsn, ~Epoch{0}});
+  if (it == index_.begin()) return Status::NotFound("LSN not stored");
+  --it;
+  if (it->first.first != lsn) return Status::NotFound("LSN not stored");
+  return stream_[it->second];
+}
+
+IntervalList ClientLogStore::Intervals() const { return sequences_; }
+
+Status ClientLogStore::StageCopy(const LogRecord& record) {
+  if (record.lsn == kNoLsn) {
+    return Status::InvalidArgument("LSN 0 is reserved");
+  }
+  staged_[record.epoch].push_back(record);
+  return Status::OK();
+}
+
+Result<std::vector<LogRecord>> ClientLogStore::InstallCopies(Epoch epoch) {
+  auto it = staged_.find(epoch);
+  if (it == staged_.end()) return std::vector<LogRecord>{};
+  std::vector<LogRecord> copies = std::move(it->second);
+  staged_.erase(it);
+  std::stable_sort(copies.begin(), copies.end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     return a.lsn < b.lsn;
+                   });
+  std::vector<LogRecord> installed;
+  for (const LogRecord& r : copies) {
+    auto existing = index_.find({r.lsn, r.epoch});
+    if (existing != index_.end()) {
+      // A retried recovery may re-install the same copy.
+      if (stream_[existing->second] == r) continue;
+      return Status::Corruption("conflicting copy for <LSN, Epoch>");
+    }
+    AppendToStream(r);
+    installed.push_back(r);
+  }
+  return installed;
+}
+
+size_t ClientLogStore::StagedBytes(Epoch epoch) const {
+  auto it = staged_.find(epoch);
+  if (it == staged_.end()) return 0;
+  size_t n = 0;
+  for (const LogRecord& r : it->second) n += r.data.size() + 32;
+  return n;
+}
+
+size_t ClientLogStore::staged_count() const {
+  size_t n = 0;
+  for (const auto& [epoch, records] : staged_) n += records.size();
+  return n;
+}
+
+size_t ClientLogStore::TruncateBelow(Lsn below) {
+  std::vector<LogRecord> retained;
+  size_t removed = 0;
+  for (const LogRecord& r : stream_) {
+    if (r.lsn >= below) {
+      retained.push_back(r);
+    } else {
+      ++removed;
+    }
+  }
+  if (removed == 0) return 0;
+  stream_.clear();
+  index_.clear();
+  sequences_.clear();
+  for (const LogRecord& r : retained) AppendToStream(r);
+  return removed;
+}
+
+Lsn ClientLogStore::HighestLsn() const {
+  if (index_.empty()) return kNoLsn;
+  return index_.rbegin()->first.first;
+}
+
+Epoch ClientLogStore::TailEpoch() const {
+  if (sequences_.empty()) return 0;
+  return sequences_.back().epoch;
+}
+
+ClientLogStore ClientLogStore::FromRecords(
+    const std::vector<LogRecord>& records) {
+  ClientLogStore store;
+  for (const LogRecord& r : records) {
+    // Skip exact duplicates (a record can appear in both a checkpoint
+    // and the scanned tail).
+    auto it = store.index_.find({r.lsn, r.epoch});
+    if (it != store.index_.end()) continue;
+    store.AppendToStream(r);
+  }
+  return store;
+}
+
+}  // namespace dlog::server

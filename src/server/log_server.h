@@ -1,0 +1,229 @@
+#ifndef DLOG_SERVER_LOG_SERVER_H_
+#define DLOG_SERVER_LOG_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/log_types.h"
+#include "forest/append_forest.h"
+#include "net/network.h"
+#include "server/client_log_store.h"
+#include "server/track_format.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "storage/disk.h"
+#include "storage/nvram.h"
+#include "wire/connection.h"
+#include "wire/messages.h"
+
+namespace dlog::server {
+
+/// Configuration of a log server node (Section 4).
+struct LogServerConfig {
+  net::NodeId node_id = 0;
+  double cpu_mips = 4.0;
+  size_t nic_ring_slots = 32;
+  storage::DiskConfig disk;
+  /// Battery-backed CMOS buffer size (group buffer + interval checkpoint).
+  size_t nvram_bytes = 512 * 1024;
+  /// Section 4.1: "two thousand instructions ... to process the log
+  /// records in each message and to copy them to low latency non volatile
+  /// memory", and "writing a track to disk requires an additional two
+  /// thousand instructions".
+  uint64_t instr_per_message = 2000;
+  uint64_t instr_per_track_write = 2000;
+  /// A partially filled track is flushed after this long, bounding NVRAM
+  /// occupancy (records are already stable in NVRAM, so this is a
+  /// capacity matter, not a durability one).
+  sim::Duration flush_interval = 100 * sim::kMillisecond;
+  /// Load shedding (Section 4.2: servers "are free to ignore ForceLog and
+  /// WriteLog messages if they become too heavily loaded"): writes are
+  /// ignored above this NVRAM occupancy fraction.
+  double shed_nvram_fraction = 0.95;
+  /// Reorder buffer cap per client (records held past a gap while waiting
+  /// for a resend or NewInterval).
+  size_t max_pending_per_client = 128;
+  /// Ablation (experiment E10): when true the server behaves as if it had
+  /// no battery-backed buffer — ForceLog is acknowledged only after the
+  /// records reach the disk, so every force pays rotational latency.
+  bool ack_after_disk = false;
+  /// Max payload bytes packed into a ReadLogForward/Backward response.
+  size_t read_reply_budget_bytes = 1200;
+  wire::WireConfig wire;
+};
+
+/// A log server node: NICs, CPU, NVRAM group buffer, one logging disk,
+/// and the protocol engine implementing every operation of Figure 4-1.
+///
+/// Durability model (what survives Crash()):
+///   * the disk contents (torn in-flight writes are lost whole);
+///   * the NVRAM group buffer and interval checkpoint;
+///   * the hosted generator state representatives (Appendix I).
+/// Volatile and rebuilt on Restart() from NVRAM + a disk scan:
+///   * per-client stores, reorder buffers, append-forest indexes,
+///   * all connection state (clients see resets and reconnect).
+class LogServer {
+ public:
+  LogServer(sim::Simulator* sim, const LogServerConfig& config);
+  ~LogServer();
+
+  LogServer(const LogServer&) = delete;
+  LogServer& operator=(const LogServer&) = delete;
+
+  /// Attaches this server to a network (twice for dual-network setups).
+  /// Must be called before traffic flows.
+  void AttachNetwork(net::Network* network);
+
+  /// Crashes the node: connections and volatile state vanish; NVRAM,
+  /// disk, and generator representatives survive.
+  void Crash();
+
+  /// Restarts after a crash: replays the disk stream and the NVRAM group
+  /// buffer to rebuild the per-client stores, then resumes service.
+  void Restart();
+
+  /// Media failure: the node crashes and loses its disk contents and
+  /// NVRAM (e.g., a head crash plus battery drain). Clients repair the
+  /// lost redundancy with LogClient::RepairLog (Section 5.3: "the repair
+  /// of a log when one redundant copy is lost"). Call Restart() after.
+  void WipeStorage();
+
+  bool IsUp() const { return up_; }
+  net::NodeId id() const { return config_.node_id; }
+
+  /// Hosted generator state representative for `client` (Appendix I:
+  /// "representatives of a replicated identifier generator's state will
+  /// normally be implemented on log server nodes").
+  storage::StableCell* generator_cell(ClientId client);
+
+  /// Forces any buffered records to disk now (test/shutdown helper).
+  void FlushNow();
+
+  // --- Introspection for tests, figures, and experiments ---
+
+  /// Interval list currently stored for `client` (empty if unknown).
+  IntervalList IntervalsOf(ClientId client) const;
+  /// All records stored for `client`, in stream write order.
+  std::vector<LogRecord> RecordsOf(ClientId client) const;
+  /// The append-forest indexing `client`'s disk-resident records.
+  const forest::AppendForest* ForestOf(ClientId client) const;
+
+  sim::Cpu& cpu() { return *cpu_; }
+  storage::SimDisk& disk() { return *disk_; }
+  sim::Counter& records_written() { return records_written_; }
+  sim::Counter& forces_acked() { return forces_acked_; }
+  sim::Counter& tracks_written() { return tracks_written_; }
+  sim::Counter& missing_interval_sent() { return missing_interval_sent_; }
+  sim::Counter& writes_shed() { return writes_shed_; }
+  sim::Counter& read_rpcs() { return read_rpcs_; }
+  sim::Counter& records_truncated() { return records_truncated_; }
+  /// Records currently stored (online log) for `client`.
+  size_t LiveRecordsOf(ClientId client) const;
+  uint64_t bytes_logged() const { return bytes_logged_; }
+
+ private:
+  struct ClientState {
+    ClientLogStore store;
+    /// Records received past a gap, awaiting resend or NewInterval.
+    std::map<Lsn, LogRecord> pending;
+    /// A NewInterval announcement: the next sequence may start here even
+    /// though it does not extend the tail.
+    std::optional<std::pair<Epoch, Lsn>> allowed_start;
+    /// Disk locations: <LSN, Epoch> -> track number. Records not present
+    /// here still sit in the NVRAM buffer.
+    std::map<std::pair<Lsn, Epoch>, uint64_t> disk_location;
+    /// The Section 4.3 index over this client's disk-resident records.
+    forest::AppendForest forest;
+  };
+
+  /// How to send a reply for the message being handled: over the
+  /// originating connection, or as a datagram to the sender (multicast
+  /// record streams).
+  using ReplyFn = std::function<void(Bytes)>;
+
+  void OnAccept(wire::Connection* conn);
+  void OnMessage(wire::Connection* conn, const Bytes& payload);
+  void OnDatagram(net::NodeId src, const Bytes& payload);
+  void HandleRecords(const ReplyFn& reply, const wire::Envelope& env,
+                     bool force);
+  void HandleNewInterval(const wire::Envelope& env);
+  void HandleTruncate(const wire::Envelope& env);
+  void HandleIntervalList(wire::Connection* conn, const wire::Envelope& env);
+  void HandleReadLog(wire::Connection* conn, const wire::Envelope& env,
+                     bool forward);
+  void HandleCopyLog(wire::Connection* conn, const wire::Envelope& env);
+  void HandleInstallCopies(wire::Connection* conn,
+                           const wire::Envelope& env);
+  void HandleGenRead(wire::Connection* conn, const wire::Envelope& env);
+  void HandleGenWrite(wire::Connection* conn, const wire::Envelope& env);
+
+  /// Applies one in-order record: store + NVRAM group buffer.
+  /// Returns false (and sheds) if NVRAM is too full.
+  bool ApplyRecord(ClientState* state, ClientId client,
+                   const LogRecord& record);
+  /// Drains contiguous pending records after a gap closes.
+  void DrainPending(ClientState* state, ClientId client);
+  /// Writes full tracks from the NVRAM buffer to disk.
+  void MaybeFlush();
+  void ScheduleFlushTimer();
+  /// Replies on `conn` (no-op when down).
+  void Reply(wire::Connection* conn, Bytes message);
+  /// Serves `fn` after charging the disk read needed for `lsn` (free when
+  /// the record still sits in NVRAM).
+  void WithReadLatency(ClientId client, Lsn lsn, std::function<void()> fn);
+
+  ClientState& StateOf(ClientId client);
+  double NvramFraction() const;
+  void RebuildFromStableStorage();
+
+  sim::Simulator* sim_;
+  LogServerConfig config_;
+  std::unique_ptr<sim::Cpu> cpu_;
+  std::unique_ptr<wire::Endpoint> endpoint_;
+  std::vector<std::unique_ptr<net::Nic>> nics_;
+  std::vector<net::Network*> networks_;
+  std::unique_ptr<storage::SimDisk> disk_;
+  std::unique_ptr<storage::NvramQueue> nvram_buffer_;
+  /// Hosted generator representatives, keyed by client (stable).
+  std::map<ClientId, storage::StableCell> generator_cells_;
+  /// Per-client truncation marks (records below are discarded). Stable:
+  /// a few bytes in NVRAM, reapplied after the restart scan.
+  std::map<ClientId, Lsn> truncate_marks_;
+
+  /// Deferred force acknowledgments for the ack_after_disk ablation.
+  struct PendingAck {
+    ReplyFn reply;
+    ClientId client;
+  };
+  std::vector<PendingAck> pending_acks_;
+
+  bool up_ = true;
+  /// Bumped on every Crash(); queued callbacks from a previous life check
+  /// it and abandon themselves (their state died with the node).
+  uint64_t generation_ = 0;
+  uint64_t next_track_ = 0;       // volatile; rebuilt by scan
+  bool flush_in_progress_ = false;
+  /// FlushNow() sets this; cleared once the buffer drains.
+  bool force_partial_flush_ = false;
+  sim::EventId flush_timer_ = 0;
+  std::map<ClientId, ClientState> clients_;  // volatile
+
+  sim::Counter records_written_;
+  sim::Counter forces_acked_;
+  sim::Counter tracks_written_;
+  sim::Counter missing_interval_sent_;
+  sim::Counter writes_shed_;
+  sim::Counter read_rpcs_;
+  sim::Counter records_truncated_;
+  uint64_t bytes_logged_ = 0;
+};
+
+}  // namespace dlog::server
+
+#endif  // DLOG_SERVER_LOG_SERVER_H_

@@ -1,0 +1,78 @@
+#include "server/track_format.h"
+
+#include "common/crc32c.h"
+
+namespace dlog::server {
+namespace {
+
+void PutEntry(Encoder* enc, const StreamEntry& entry) {
+  enc->PutU32(entry.client);
+  enc->PutU64(entry.record.lsn);
+  enc->PutU64(entry.record.epoch);
+  enc->PutBool(entry.record.present);
+  enc->PutBlob(entry.record.data);
+}
+
+Result<StreamEntry> GetEntry(Decoder* dec) {
+  StreamEntry entry;
+  DLOG_ASSIGN_OR_RETURN(entry.client, dec->GetU32());
+  DLOG_ASSIGN_OR_RETURN(entry.record.lsn, dec->GetU64());
+  DLOG_ASSIGN_OR_RETURN(entry.record.epoch, dec->GetU64());
+  DLOG_ASSIGN_OR_RETURN(entry.record.present, dec->GetBool());
+  DLOG_ASSIGN_OR_RETURN(entry.record.data, dec->GetBlob());
+  return entry;
+}
+
+}  // namespace
+
+Bytes EncodeStreamEntry(const StreamEntry& entry) {
+  Bytes out;
+  Encoder enc(&out);
+  PutEntry(&enc, entry);
+  return out;
+}
+
+Result<StreamEntry> DecodeStreamEntry(const Bytes& bytes) {
+  Decoder dec(bytes);
+  DLOG_ASSIGN_OR_RETURN(StreamEntry entry, GetEntry(&dec));
+  if (!dec.Done()) return Status::Corruption("trailing bytes after entry");
+  return entry;
+}
+
+size_t StreamEntrySize(const StreamEntry& entry) {
+  // client(4) + lsn(8) + epoch(8) + present(1) + len(4) + data
+  return 4 + 8 + 8 + 1 + 4 + entry.record.data.size();
+}
+
+Bytes EncodeTrack(const std::vector<StreamEntry>& entries) {
+  Bytes body;
+  Encoder body_enc(&body);
+  body_enc.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const StreamEntry& e : entries) PutEntry(&body_enc, e);
+
+  Bytes out;
+  Encoder enc(&out);
+  enc.PutU32(crc32c::Value(body));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<std::vector<StreamEntry>> DecodeTrack(const Bytes& track) {
+  Decoder dec(track);
+  DLOG_ASSIGN_OR_RETURN(uint32_t crc, dec.GetU32());
+  const Bytes body(track.begin() + 4, track.end());
+  if (crc32c::Value(body) != crc) {
+    return Status::Corruption("track checksum mismatch");
+  }
+  DLOG_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());
+  std::vector<StreamEntry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DLOG_ASSIGN_OR_RETURN(StreamEntry entry, GetEntry(&dec));
+    entries.push_back(std::move(entry));
+  }
+  if (!dec.Done()) return Status::Corruption("trailing bytes after track");
+  return entries;
+}
+
+}  // namespace dlog::server

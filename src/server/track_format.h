@@ -1,0 +1,45 @@
+#ifndef DLOG_SERVER_TRACK_FORMAT_H_
+#define DLOG_SERVER_TRACK_FORMAT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/log_types.h"
+#include "common/result.h"
+
+namespace dlog::server {
+
+/// One element of the merged log data stream: a log record tagged with
+/// the client that owns it. "Records from different logs must be
+/// interleaved in a data stream that is written sequentially to disk"
+/// (Section 4.1).
+struct StreamEntry {
+  ClientId client = 0;
+  LogRecord record;
+
+  friend bool operator==(const StreamEntry& a, const StreamEntry& b) {
+    return a.client == b.client && a.record == b.record;
+  }
+};
+
+/// Encodes a single stream entry (also the NVRAM group-buffer format).
+Bytes EncodeStreamEntry(const StreamEntry& entry);
+Result<StreamEntry> DecodeStreamEntry(const Bytes& bytes);
+
+/// Encoded size of an entry, used when packing a track.
+size_t StreamEntrySize(const StreamEntry& entry);
+
+/// Encodes a full track: CRC32C, entry count, then the entries. The
+/// decoded side verifies the checksum so torn/corrupt tracks surface as
+/// Corruption instead of bad data.
+Bytes EncodeTrack(const std::vector<StreamEntry>& entries);
+Result<std::vector<StreamEntry>> DecodeTrack(const Bytes& track);
+
+/// Fixed per-track overhead bytes (CRC + count).
+constexpr size_t kTrackOverhead = 8;
+
+}  // namespace dlog::server
+
+#endif  // DLOG_SERVER_TRACK_FORMAT_H_

@@ -1,0 +1,47 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dlog::sim {
+
+Cpu::Cpu(Simulator* sim, double mips, std::string name)
+    : sim_(sim), mips_(mips), name_(std::move(name)) {
+  assert(mips > 0);
+}
+
+Duration Cpu::InstructionsToTime(uint64_t instructions) const {
+  // instructions / (mips * 1e6 instr/s) seconds.
+  return SecondsToDuration(static_cast<double>(instructions) /
+                           (mips_ * 1e6));
+}
+
+void Cpu::Execute(uint64_t instructions, std::function<void()> done) {
+  const Duration service = InstructionsToTime(instructions);
+  const Time start = std::max(sim_->Now(), free_at_);
+  free_at_ = start + service;
+  busy_time_ += service;
+  if (done) {
+    sim_->At(free_at_, std::move(done));
+  }
+}
+
+double Cpu::Utilization() const {
+  const Time now = std::max(sim_->Now(), free_at_);
+  const Duration window = now - window_start_;
+  if (window == 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(window);
+}
+
+void Cpu::ResetStats() {
+  window_start_ = sim_->Now();
+  busy_time_ = 0;
+  // Work already queued past Now() still counts as busy time in the new
+  // window; approximate by carrying the in-flight tail.
+  if (free_at_ > window_start_) {
+    busy_time_ = free_at_ - window_start_;
+  }
+}
+
+}  // namespace dlog::sim

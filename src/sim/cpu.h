@@ -1,0 +1,60 @@
+#ifndef DLOG_SIM_CPU_H_
+#define DLOG_SIM_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace dlog::sim {
+
+/// Models a node's processor as a single FIFO-served resource with a fixed
+/// instruction rate (Section 2 anticipates "at least a few MIPS").
+///
+/// Work is expressed in instruction counts, matching the paper's Section
+/// 4.1 accounting (1000 instructions per packet, 2000 instructions to
+/// process the log records in a message, 2000 instructions per track
+/// write). Execute() queues the work and invokes the completion callback
+/// when the simulated processor has gotten to and finished it.
+class Cpu {
+ public:
+  /// `mips` is millions of instructions per second; must be > 0.
+  Cpu(Simulator* sim, double mips, std::string name = "cpu");
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Schedules `instructions` of work; calls `done` (may be null) at the
+  /// simulated completion time. Work is served FIFO after all previously
+  /// submitted work.
+  void Execute(uint64_t instructions, std::function<void()> done);
+
+  /// Time the CPU has spent busy since construction (or last ResetStats).
+  Duration busy_time() const { return busy_time_; }
+
+  /// Busy fraction over the window since the last ResetStats() call.
+  double Utilization() const;
+
+  /// Resets the utilization accounting window to start at Now().
+  void ResetStats();
+
+  double mips() const { return mips_; }
+  const std::string& name() const { return name_; }
+
+  /// Converts an instruction count to execution time on this CPU.
+  Duration InstructionsToTime(uint64_t instructions) const;
+
+ private:
+  Simulator* sim_;
+  double mips_;
+  std::string name_;
+  Time free_at_ = 0;        // when previously queued work completes
+  Duration busy_time_ = 0;  // total busy time in the current window
+  Time window_start_ = 0;
+};
+
+}  // namespace dlog::sim
+
+#endif  // DLOG_SIM_CPU_H_

@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace dlog::sim {
+
+EventId Simulator::At(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: the event stays queued but is skipped when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Time t) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    Step();
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace dlog::sim

@@ -1,0 +1,86 @@
+#ifndef DLOG_SIM_SIMULATOR_H_
+#define DLOG_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dlog::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Ids are never
+/// reused within one Simulator.
+using EventId = uint64_t;
+
+/// A deterministic discrete-event simulator. Components schedule callbacks
+/// at absolute or relative times; Run() executes them in (time, schedule
+/// order) sequence. Single-threaded by design: a run is a pure function of
+/// the initial configuration and RNG seeds.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= Now()). Events with
+  /// equal time run in scheduling order.
+  EventId At(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `d` after Now().
+  EventId After(Duration d, std::function<void()> fn) {
+    return At(now_ + d, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// already cancelled.
+  bool Cancel(EventId id);
+
+  /// Runs until the event queue is empty.
+  void Run();
+
+  /// Runs events with time <= `t`, then sets Now() to `t`.
+  void RunUntil(Time t);
+
+  /// Runs for `d` simulated time from Now().
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  /// Executes a single event; returns false if the queue was empty.
+  bool Step();
+
+  /// Number of events executed so far.
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events currently pending (including cancelled ones not yet
+  /// popped).
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    EventId id;  // also the tie-break: lower id scheduled earlier
+    std::function<void()> fn;
+  };
+  struct EventGreater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventGreater> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace dlog::sim
+
+#endif  // DLOG_SIM_SIMULATOR_H_

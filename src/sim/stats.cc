@@ -1,0 +1,58 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace dlog::sim {
+
+void Histogram::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  if (samples_.empty()) return 0.0;
+  Sort();
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  if (samples_.empty()) return 0.0;
+  Sort();
+  return samples_.back();
+}
+
+double Histogram::Percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  Sort();
+  if (q <= 0) return samples_.front();
+  if (q >= 1) return samples_.back();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                count(), Mean(), Percentile(0.5), Percentile(0.95),
+                Percentile(0.99), Max());
+  return buf;
+}
+
+}  // namespace dlog::sim

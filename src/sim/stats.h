@@ -1,0 +1,58 @@
+#ifndef DLOG_SIM_STATS_H_
+#define DLOG_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlog::sim {
+
+/// Accumulates scalar samples (latencies, sizes, queue depths) and reports
+/// mean / min / max / percentiles. Stores all samples; experiment scales
+/// in this repo are small enough that this is simplest and exact.
+class Histogram {
+ public:
+  void Add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// q in [0,1]; e.g. Percentile(0.5) is the median. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// "n=… mean=… p50=… p95=… max=…" one-line summary.
+  std::string Summary() const;
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// A monotonically increasing event counter with a named meaning
+/// (messages sent, records written, ...).
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) { value_ += by; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+}  // namespace dlog::sim
+
+#endif  // DLOG_SIM_STATS_H_

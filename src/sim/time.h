@@ -1,0 +1,33 @@
+#ifndef DLOG_SIM_TIME_H_
+#define DLOG_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace dlog::sim {
+
+/// Simulated time, in integer nanoseconds since the start of the run.
+/// Integer time keeps event ordering exactly reproducible.
+using Time = uint64_t;
+/// A span of simulated time, in nanoseconds.
+using Duration = uint64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Converts a duration in (fractional) seconds to nanoseconds, rounding to
+/// nearest. Negative inputs clamp to zero.
+inline Duration SecondsToDuration(double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<Duration>(seconds * 1e9 + 0.5);
+}
+
+/// Converts nanoseconds to fractional seconds.
+inline double DurationToSeconds(Duration d) {
+  return static_cast<double>(d) / 1e9;
+}
+
+}  // namespace dlog::sim
+
+#endif  // DLOG_SIM_TIME_H_

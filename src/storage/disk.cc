@@ -1,0 +1,120 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dlog::storage {
+
+SimDisk::SimDisk(sim::Simulator* sim, const DiskConfig& config,
+                 std::string name)
+    : sim_(sim), config_(config), name_(std::move(name)) {
+  assert(config.rpm > 0);
+}
+
+sim::Duration SimDisk::RotationTime() const {
+  return sim::SecondsToDuration(60.0 / config_.rpm);
+}
+
+sim::Duration SimDisk::ServiceTime(uint64_t track) {
+  sim::Duration t = 0;
+  // Seek: free if the head is on this track or the immediately following
+  // one (sequential streaming, the common case for the log stream).
+  const uint64_t head = head_track_;
+  const bool sequential = (track == head) || (track == head + 1);
+  if (!sequential) t += config_.avg_seek;
+  // Rotational latency: half a rotation on average.
+  t += RotationTime() / 2;
+  // Transfer: a whole track takes one rotation.
+  t += RotationTime();
+  head_track_ = track;
+  return t;
+}
+
+void SimDisk::WriteTrack(uint64_t track, Bytes data,
+                         std::function<void(Status)> done) {
+  Status status = Status::OK();
+  if (track >= config_.num_tracks) {
+    status = Status::InvalidArgument("track address out of range");
+  } else if (data.size() > config_.track_bytes) {
+    status = Status::InvalidArgument("data larger than a track");
+  } else if (config_.write_once && tracks_.count(track) > 0) {
+    status = Status::FailedPrecondition(
+        "write-once medium: track already written");
+  }
+  if (!status.ok()) {
+    // Parameter errors are detected before any mechanical motion.
+    if (done) sim_->After(0, [done, status]() { done(status); });
+    return;
+  }
+
+  const sim::Time submitted = sim_->Now();
+  const sim::Time start = std::max(submitted, free_at_);
+  const sim::Duration service = ServiceTime(track);
+  free_at_ = start + service;
+  busy_time_ += service;
+  writes_.Increment();
+
+  const uint64_t generation = crash_generation_;
+  sim_->At(free_at_, [this, track, data = std::move(data), done, submitted,
+                      generation]() mutable {
+    if (generation != crash_generation_) return;  // lost in a crash
+    tracks_[track] = std::move(data);
+    write_latency_.Add(
+        sim::DurationToSeconds(sim_->Now() - submitted) * 1e3);  // ms
+    if (done) done(Status::OK());
+  });
+}
+
+void SimDisk::ReadTrack(uint64_t track,
+                        std::function<void(Result<Bytes>)> done) {
+  assert(done);
+  if (track >= config_.num_tracks) {
+    sim_->After(0, [done]() {
+      done(Status::InvalidArgument("track address out of range"));
+    });
+    return;
+  }
+
+  const sim::Time start = std::max(sim_->Now(), free_at_);
+  const sim::Duration service = ServiceTime(track);
+  free_at_ = start + service;
+  busy_time_ += service;
+  reads_.Increment();
+
+  const uint64_t generation = crash_generation_;
+  sim_->At(free_at_, [this, track, done, generation]() {
+    if (generation != crash_generation_) return;
+    auto it = tracks_.find(track);
+    if (it == tracks_.end()) {
+      done(Status::NotFound("track never written"));
+    } else {
+      done(it->second);
+    }
+  });
+}
+
+Result<Bytes> SimDisk::Peek(uint64_t track) const {
+  auto it = tracks_.find(track);
+  if (it == tracks_.end()) return Status::NotFound("track never written");
+  return it->second;
+}
+
+void SimDisk::Crash() {
+  ++crash_generation_;
+  free_at_ = sim_->Now();
+}
+
+void SimDisk::WipeMedia() {
+  Crash();
+  tracks_.clear();
+  head_track_ = 0;
+}
+
+double SimDisk::Utilization() const {
+  const sim::Time now = std::max(sim_->Now(), free_at_);
+  if (now == 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(now);
+}
+
+}  // namespace dlog::storage

@@ -1,0 +1,109 @@
+#ifndef DLOG_STORAGE_DISK_H_
+#define DLOG_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace dlog::storage {
+
+/// Geometry and timing of a simulated track-addressed disk. Defaults are
+/// mid-1980s commodity numbers ("slow disks with small tracks",
+/// Section 4.1).
+struct DiskConfig {
+  double rpm = 3600;                           // 16.7 ms per rotation
+  sim::Duration avg_seek = 25 * sim::kMillisecond;
+  size_t track_bytes = 16 * 1024;              // small tracks
+  uint64_t num_tracks = 1'000'000;
+  /// Write-once (optical) mode: a track may be written exactly once
+  /// (Section 4.3 requires data structures usable on optical storage).
+  bool write_once = false;
+};
+
+/// A simulated disk serving one request at a time in FIFO order. Writes
+/// and reads are whole tracks: the log-server design (Section 4.1) buffers
+/// records in NVRAM "so that an entire track of log data may be written to
+/// disk at once".
+///
+/// Timing model per request:
+///   seek (0 if the head is already positioned on an adjacent track)
+///   + rotational latency (half a rotation on a random landing)
+///   + transfer (one full rotation for a whole track; proportional for
+///     partial reads).
+///
+/// Contents are non-volatile: they survive Crash(). A request in flight at
+/// crash time is lost without effect (the old track contents remain).
+class SimDisk {
+ public:
+  SimDisk(sim::Simulator* sim, const DiskConfig& config,
+          std::string name = "disk");
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  /// Queues a whole-track write; `done` runs at simulated completion.
+  /// Fails with InvalidArgument (oversized data / bad address) or
+  /// FailedPrecondition (write-once violation) — reported through `done`.
+  void WriteTrack(uint64_t track, Bytes data,
+                  std::function<void(Status)> done);
+
+  /// Queues a track read.
+  void ReadTrack(uint64_t track, std::function<void(Result<Bytes>)> done);
+
+  /// Synchronous inspection of current contents (test/recovery helper;
+  /// charges no simulated time). Returns NotFound for never-written
+  /// tracks.
+  Result<Bytes> Peek(uint64_t track) const;
+
+  /// Returns true if the track has been written.
+  bool IsWritten(uint64_t track) const {
+    return tracks_.find(track) != tracks_.end();
+  }
+
+  /// Drops all queued/in-flight requests; contents are preserved.
+  /// Callbacks of dropped requests are never invoked.
+  void Crash();
+
+  /// Media failure: all contents are destroyed (and in-flight requests
+  /// dropped). The device itself remains usable, as after a platter
+  /// replacement.
+  void WipeMedia();
+
+  const DiskConfig& config() const { return config_; }
+  sim::Duration RotationTime() const;
+  sim::Duration busy_time() const { return busy_time_; }
+  /// Busy fraction since construction.
+  double Utilization() const;
+
+  sim::Counter& writes() { return writes_; }
+  sim::Counter& reads() { return reads_; }
+  sim::Histogram& write_latency() { return write_latency_; }
+
+ private:
+  /// Computes service time and advances head position.
+  sim::Duration ServiceTime(uint64_t track);
+
+  sim::Simulator* sim_;
+  DiskConfig config_;
+  std::string name_;
+  std::map<uint64_t, Bytes> tracks_;
+  sim::Time free_at_ = 0;
+  uint64_t head_track_ = 0;
+  sim::Duration busy_time_ = 0;
+  uint64_t crash_generation_ = 0;
+  sim::Counter writes_;
+  sim::Counter reads_;
+  sim::Histogram write_latency_;
+};
+
+}  // namespace dlog::storage
+
+#endif  // DLOG_STORAGE_DISK_H_

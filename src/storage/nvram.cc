@@ -1,0 +1,49 @@
+#include "storage/nvram.h"
+
+#include <utility>
+
+namespace dlog::storage {
+
+Status Nvram::Put(const std::string& region, Bytes data) {
+  size_t old_size = 0;
+  auto it = regions_.find(region);
+  if (it != regions_.end()) old_size = it->second.size();
+  const size_t new_used = used_ - old_size + data.size();
+  if (new_used > capacity_) {
+    return Status::ResourceExhausted("nvram full");
+  }
+  used_ = new_used;
+  regions_[region] = std::move(data);
+  return Status::OK();
+}
+
+Result<Bytes> Nvram::Get(const std::string& region) const {
+  auto it = regions_.find(region);
+  if (it == regions_.end()) return Status::NotFound("no such nvram region");
+  return it->second;
+}
+
+void Nvram::Erase(const std::string& region) {
+  auto it = regions_.find(region);
+  if (it == regions_.end()) return;
+  used_ -= it->second.size();
+  regions_.erase(it);
+}
+
+Status NvramQueue::Append(Bytes entry) {
+  if (used_ + entry.size() > capacity_) {
+    return Status::ResourceExhausted("nvram queue full");
+  }
+  used_ += entry.size();
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+void NvramQueue::PopFront(size_t n) {
+  for (size_t i = 0; i < n && !entries_.empty(); ++i) {
+    used_ -= entries_.front().size();
+    entries_.pop_front();
+  }
+}
+
+}  // namespace dlog::storage

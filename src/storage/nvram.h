@@ -1,0 +1,100 @@
+#ifndef DLOG_STORAGE_NVRAM_H_
+#define DLOG_STORAGE_NVRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dlog::storage {
+
+/// Low-latency non-volatile memory (Section 5.1: battery-backed CMOS).
+/// Contents survive node crashes; access is at memory speed, so no
+/// simulated time is charged here — callers account CPU instructions for
+/// the copy (Section 4.1 budgets 2000 instructions per message to process
+/// records "and to copy them to low latency non volatile memory").
+///
+/// Named regions hold whole-value blobs (e.g., the checkpointed interval
+/// lists); capacity is shared with any NvramQueue carved from the same
+/// device by the owning node.
+class Nvram {
+ public:
+  explicit Nvram(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  Nvram(const Nvram&) = delete;
+  Nvram& operator=(const Nvram&) = delete;
+
+  /// Replaces the contents of `region`. Fails with ResourceExhausted when
+  /// the device would overflow.
+  Status Put(const std::string& region, Bytes data);
+
+  /// Reads a region; NotFound if absent.
+  Result<Bytes> Get(const std::string& region) const;
+
+  void Erase(const std::string& region);
+
+  size_t used() const { return used_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  size_t used_ = 0;
+  std::map<std::string, Bytes> regions_;
+};
+
+/// An append-ordered queue of blobs in non-volatile memory: the log
+/// server's group buffer. Records accumulate here (making them stable, so
+/// forces can be acknowledged immediately) until a full track's worth is
+/// written to disk at once (Section 4.1).
+///
+/// Like Nvram, the queue survives Crash(): a restarted server drains
+/// whatever its predecessor had buffered.
+class NvramQueue {
+ public:
+  explicit NvramQueue(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  NvramQueue(const NvramQueue&) = delete;
+  NvramQueue& operator=(const NvramQueue&) = delete;
+
+  /// Appends an entry; ResourceExhausted if it does not fit.
+  Status Append(Bytes entry);
+
+  /// FIFO view of the buffered entries.
+  const std::deque<Bytes>& entries() const { return entries_; }
+
+  /// Removes the first `n` entries (they have reached the disk).
+  void PopFront(size_t n);
+
+  size_t used_bytes() const { return used_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  size_t capacity_;
+  size_t used_ = 0;
+  std::deque<Bytes> entries_;
+};
+
+/// A single non-volatile integer cell with atomic read/write, used for
+/// the generator state representatives of Appendix I ("each store an
+/// integer in non-volatile storage", with Read and Write "atomic at
+/// individual representatives").
+class StableCell {
+ public:
+  explicit StableCell(uint64_t initial = 0) : value_(initial) {}
+
+  uint64_t Read() const { return value_; }
+  void Write(uint64_t v) { value_ = v; }
+
+ private:
+  uint64_t value_;
+};
+
+}  // namespace dlog::storage
+
+#endif  // DLOG_STORAGE_NVRAM_H_

@@ -1,0 +1,44 @@
+#include "tp/storage.h"
+
+#include <cassert>
+
+namespace dlog::tp {
+
+Page PageDisk::Read(PageId id) const {
+  auto it = pages_.find(id);
+  if (it != pages_.end()) return it->second;
+  Page page;
+  page.data.assign(page_bytes_, 0);
+  return page;
+}
+
+void PageDisk::Write(PageId id, const Page& page) {
+  assert(page.data.size() == page_bytes_);
+  pages_[id] = page;
+}
+
+Page& BufferPool::Get(PageId id) {
+  auto it = cache_.find(id);
+  if (it == cache_.end()) {
+    it = cache_.emplace(id, disk_->Read(id)).first;
+  }
+  return it->second;
+}
+
+void BufferPool::ApplyUpdate(PageId id, uint32_t offset, const Bytes& bytes,
+                             Lsn lsn) {
+  Page& page = Get(id);
+  assert(offset + bytes.size() <= page.data.size());
+  std::copy(bytes.begin(), bytes.end(), page.data.begin() + offset);
+  page.lsn = lsn;
+  dirty_.insert(id);
+}
+
+void BufferPool::Clean(PageId id) {
+  auto it = cache_.find(id);
+  if (it == cache_.end()) return;
+  disk_->Write(id, it->second);
+  dirty_.erase(id);
+}
+
+}  // namespace dlog::tp

@@ -1,0 +1,85 @@
+#ifndef DLOG_TP_STORAGE_H_
+#define DLOG_TP_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/log_types.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "tp/wal.h"
+
+namespace dlog::tp {
+
+/// A database page: fixed-size byte image stamped with the LSN of the
+/// last update applied to it (the WAL page-LSN protocol).
+struct Page {
+  Lsn lsn = kNoLsn;
+  Bytes data;
+};
+
+/// The transaction node's stable page storage (its single local data
+/// disk, Section 2). Contents survive Crash(); timing is not modeled
+/// here — the logging disks are the bottleneck under study, and data-disk
+/// I/O is the same for every logging design being compared.
+class PageDisk {
+ public:
+  explicit PageDisk(size_t page_bytes) : page_bytes_(page_bytes) {}
+
+  size_t page_bytes() const { return page_bytes_; }
+
+  /// Reads a page; a never-written page comes back zero-filled.
+  Page Read(PageId id) const;
+
+  /// Writes a page image (the buffer pool's "clean" operation).
+  void Write(PageId id, const Page& page);
+
+  bool Exists(PageId id) const { return pages_.count(id) > 0; }
+  size_t page_count() const { return pages_.size(); }
+
+ private:
+  size_t page_bytes_;
+  std::map<PageId, Page> pages_;
+};
+
+/// A volatile page cache with dirty tracking. The WAL discipline is
+/// enforced by the engine: a dirty page may only be cleaned once the log
+/// is forced past the page's LSN (and, under record splitting, once the
+/// relevant undo components are logged — Section 5.2).
+class BufferPool {
+ public:
+  explicit BufferPool(PageDisk* disk) : disk_(disk) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches a page (from cache or the page disk).
+  Page& Get(PageId id);
+
+  /// Applies `bytes` at `offset` and stamps the page with `lsn`.
+  void ApplyUpdate(PageId id, uint32_t offset, const Bytes& bytes, Lsn lsn);
+
+  bool IsDirty(PageId id) const { return dirty_.count(id) > 0; }
+  const std::set<PageId>& dirty_pages() const { return dirty_; }
+
+  /// Writes one page image to the page disk and clears its dirty bit.
+  /// The caller must have satisfied the WAL rule first.
+  void Clean(PageId id);
+
+  /// Crash: the cache is volatile.
+  void LoseAll() {
+    cache_.clear();
+    dirty_.clear();
+  }
+
+ private:
+  PageDisk* disk_;
+  std::map<PageId, Page> cache_;
+  std::set<PageId> dirty_;
+};
+
+}  // namespace dlog::tp
+
+#endif  // DLOG_TP_STORAGE_H_

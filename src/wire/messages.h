@@ -1,0 +1,222 @@
+#ifndef DLOG_WIRE_MESSAGES_H_
+#define DLOG_WIRE_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/log_types.h"
+#include "common/result.h"
+
+namespace dlog::wire {
+
+/// Message types of the client/log-server interface (Figure 4-1).
+///
+/// Asynchronous client -> server : kWriteLog, kForceLog, kNewInterval
+/// Asynchronous server -> client : kNewHighLsn, kMissingInterval
+/// Synchronous RPCs              : the *Req/*Resp pairs
+enum class MessageType : uint8_t {
+  kWriteLog = 1,
+  kForceLog = 2,
+  kNewInterval = 3,
+  kNewHighLsn = 4,
+  kMissingInterval = 5,
+  kIntervalListReq = 6,
+  kIntervalListResp = 7,
+  kReadLogForwardReq = 8,
+  kReadLogBackwardReq = 9,
+  kReadLogResp = 10,
+  kCopyLogReq = 11,
+  kCopyLogResp = 12,
+  kInstallCopiesReq = 13,
+  kInstallCopiesResp = 14,
+  // Generator-state-representative access (Appendix I). The paper hosts
+  // representatives "on log server nodes"; these two RPCs are the "few
+  // other [operations] for reasons of efficiency" implementations add.
+  kGenReadReq = 15,
+  kGenReadResp = 16,
+  kGenWriteReq = 17,
+  kGenWriteResp = 18,
+  /// Log space management (Section 5.3): "client recovery managers can
+  /// use checkpoints and other mechanisms to limit the online log storage
+  /// required for node recovery." Asynchronous; the server discards the
+  /// client's records with LSNs below the given point.
+  kTruncateLog = 19,
+};
+
+/// Every message starts with a fixed header: type, then an RPC id that is
+/// zero for asynchronous messages and non-zero (echoed in the response)
+/// for synchronous calls.
+struct Envelope {
+  MessageType type;
+  uint64_t rpc_id = 0;
+  Bytes body;
+};
+
+/// WriteLog / ForceLog (Figure 4-1): "Client processes and log servers
+/// attempt to pack as many log records as will fit in a network packet in
+/// each call." ForceLog additionally requests an immediate NewHighLsn
+/// acknowledgment.
+struct RecordBatch {
+  ClientId client = 0;
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+};
+
+/// NewInterval: tells the server to ignore a missing-LSN gap and start a
+/// new interval at `starting_lsn` (used when the client switched servers).
+struct NewIntervalMsg {
+  ClientId client = 0;
+  Epoch epoch = 0;
+  Lsn starting_lsn = kNoLsn;
+};
+
+/// NewHighLsn: the server's acknowledgment carrying "the highest forced
+/// log sequence number".
+struct NewHighLsnMsg {
+  Lsn new_high_lsn = kNoLsn;
+};
+
+/// MissingInterval: prompt negative acknowledgment naming the LSN gap the
+/// server noticed ([low, high] inclusive).
+struct MissingIntervalMsg {
+  Lsn low = kNoLsn;
+  Lsn high = kNoLsn;
+};
+
+struct IntervalListReq {
+  ClientId client = 0;
+};
+
+/// RPC responses carry a status byte so server-side errors (e.g., reading
+/// an unstored LSN) travel back to the caller.
+enum class RpcStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kError = 2,
+  kOverloaded = 3,
+};
+
+struct IntervalListResp {
+  RpcStatus status = RpcStatus::kOk;
+  IntervalList intervals;
+};
+
+/// ReadLogForward / ReadLogBackward: "differ as to whether log records
+/// with log sequence number greater or less than the input LSN are used
+/// to fill the packet."
+struct ReadLogReq {
+  ClientId client = 0;
+  Lsn lsn = kNoLsn;
+};
+
+struct ReadLogResp {
+  RpcStatus status = RpcStatus::kOk;
+  std::vector<LogRecord> records;
+};
+
+/// CopyLog: recovery-time rewrite of possibly partially-written records;
+/// "log servers accept CopyLog calls for records with LSNs that are lower
+/// than the highest log sequence number written to the log server."
+struct CopyLogReq {
+  ClientId client = 0;
+  Epoch epoch = 0;
+  std::vector<LogRecord> records;
+};
+
+struct CopyLogResp {
+  RpcStatus status = RpcStatus::kOk;
+};
+
+/// InstallCopies: atomically installs all records copied with `epoch`.
+struct InstallCopiesReq {
+  ClientId client = 0;
+  Epoch epoch = 0;
+};
+
+struct InstallCopiesResp {
+  RpcStatus status = RpcStatus::kOk;
+};
+
+/// Reads the generator state representative hosted on this server for
+/// the given client's identifier generator.
+struct GenReadReq {
+  ClientId client = 0;
+};
+
+struct GenReadResp {
+  RpcStatus status = RpcStatus::kOk;
+  uint64_t value = 0;
+};
+
+/// Writes the representative (atomic at this server).
+struct GenWriteReq {
+  ClientId client = 0;
+  uint64_t value = 0;
+};
+
+/// Discard this client's records with LSN < below (Section 5.3).
+struct TruncateLogMsg {
+  ClientId client = 0;
+  Lsn below = kNoLsn;
+};
+
+struct GenWriteResp {
+  RpcStatus status = RpcStatus::kOk;
+};
+
+// --- Encoding ---
+// Each Encode* returns a complete message (header + body) ready to hand
+// to a wire::Connection. DecodeEnvelope splits the header off; the caller
+// then dispatches on type to the matching Decode*.
+
+Bytes EncodeRecordBatch(MessageType type, const RecordBatch& m,
+                        uint64_t rpc_id = 0);
+Bytes EncodeNewInterval(const NewIntervalMsg& m);
+Bytes EncodeNewHighLsn(const NewHighLsnMsg& m);
+Bytes EncodeMissingInterval(const MissingIntervalMsg& m);
+Bytes EncodeIntervalListReq(const IntervalListReq& m, uint64_t rpc_id);
+Bytes EncodeIntervalListResp(const IntervalListResp& m, uint64_t rpc_id);
+Bytes EncodeReadLogReq(MessageType type, const ReadLogReq& m,
+                       uint64_t rpc_id);
+Bytes EncodeReadLogResp(const ReadLogResp& m, uint64_t rpc_id);
+Bytes EncodeCopyLogReq(const CopyLogReq& m, uint64_t rpc_id);
+Bytes EncodeCopyLogResp(const CopyLogResp& m, uint64_t rpc_id);
+Bytes EncodeInstallCopiesReq(const InstallCopiesReq& m, uint64_t rpc_id);
+Bytes EncodeInstallCopiesResp(const InstallCopiesResp& m, uint64_t rpc_id);
+Bytes EncodeGenReadReq(const GenReadReq& m, uint64_t rpc_id);
+Bytes EncodeGenReadResp(const GenReadResp& m, uint64_t rpc_id);
+Bytes EncodeGenWriteReq(const GenWriteReq& m, uint64_t rpc_id);
+Bytes EncodeGenWriteResp(const GenWriteResp& m, uint64_t rpc_id);
+Bytes EncodeTruncateLog(const TruncateLogMsg& m);
+
+Result<Envelope> DecodeEnvelope(const Bytes& wire);
+
+Result<RecordBatch> DecodeRecordBatch(const Bytes& body);
+Result<NewIntervalMsg> DecodeNewInterval(const Bytes& body);
+Result<NewHighLsnMsg> DecodeNewHighLsn(const Bytes& body);
+Result<MissingIntervalMsg> DecodeMissingInterval(const Bytes& body);
+Result<IntervalListReq> DecodeIntervalListReq(const Bytes& body);
+Result<IntervalListResp> DecodeIntervalListResp(const Bytes& body);
+Result<ReadLogReq> DecodeReadLogReq(const Bytes& body);
+Result<ReadLogResp> DecodeReadLogResp(const Bytes& body);
+Result<CopyLogReq> DecodeCopyLogReq(const Bytes& body);
+Result<CopyLogResp> DecodeCopyLogResp(const Bytes& body);
+Result<InstallCopiesReq> DecodeInstallCopiesReq(const Bytes& body);
+Result<InstallCopiesResp> DecodeInstallCopiesResp(const Bytes& body);
+Result<GenReadReq> DecodeGenReadReq(const Bytes& body);
+Result<GenReadResp> DecodeGenReadResp(const Bytes& body);
+Result<GenWriteReq> DecodeGenWriteReq(const Bytes& body);
+Result<GenWriteResp> DecodeGenWriteResp(const Bytes& body);
+Result<TruncateLogMsg> DecodeTruncateLog(const Bytes& body);
+
+/// Bytes a LogRecord occupies inside a RecordBatch encoding; used by the
+/// client to pack "as many log records as will fit in a network packet".
+size_t EncodedRecordSize(const LogRecord& record);
+
+/// Fixed per-RecordBatch overhead (envelope header + batch fields).
+size_t RecordBatchOverhead();
+
+}  // namespace dlog::wire
+
+#endif  // DLOG_WIRE_MESSAGES_H_

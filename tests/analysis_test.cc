@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/availability.h"
+#include "analysis/capacity.h"
+#include "common/rng.h"
+
+namespace dlog::analysis {
+namespace {
+
+TEST(AvailabilityTest, BinomialCoefficients) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 5), 252.0);
+}
+
+TEST(AvailabilityTest, AtMostKDownEdges) {
+  EXPECT_DOUBLE_EQ(AtMostKDown(5, 5, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(AtMostKDown(5, -1, 0.3), 0.0);
+  EXPECT_NEAR(AtMostKDown(1, 0, 0.05), 0.95, 1e-12);
+}
+
+// Section 3.2's headline numbers at p = 0.05.
+TEST(AvailabilityTest, PaperNumbers) {
+  const double p = 0.05;
+  // Single server: everything available with probability 0.95.
+  EXPECT_NEAR(WriteLogAvailability(1, 1, p), 0.95, 1e-12);
+  EXPECT_NEAR(ClientInitAvailability(1, 1, p), 0.95, 1e-12);
+
+  // N=2, M=5: WriteLog needs at least 2 of 5 up — "such failures will
+  // hardly ever render WriteLog operations unavailable".
+  EXPECT_GT(WriteLogAvailability(5, 2, p), 0.99995);
+  // "four of the five log servers must be available for client
+  // initialization. This occurs with a probability of about 0.98."
+  EXPECT_NEAR(ClientInitAvailability(5, 2, p), 0.977, 0.002);
+
+  // "With five log servers and triple copy replicated logs, availability
+  // for both normal processing and client initialization is about 0.999."
+  EXPECT_NEAR(WriteLogAvailability(5, 3, p), 0.9988, 0.0005);
+  EXPECT_NEAR(ClientInitAvailability(5, 3, p), 0.9988, 0.0005);
+
+  // "With dual copy replicated logs, 0.95 or better availability for
+  // client initialization would be achieved using up to M = 7."
+  EXPECT_GE(ClientInitAvailability(7, 2, p), 0.95);
+  EXPECT_LT(ClientInitAvailability(8, 2, p), 0.95);
+
+  // Reading a record on N servers: 1 - p^N.
+  EXPECT_NEAR(ReadAvailability(2, p), 1 - 0.0025, 1e-12);
+  EXPECT_NEAR(ReadAvailability(3, p), 1 - 0.000125, 1e-12);
+}
+
+TEST(AvailabilityTest, WriteAvailabilityRisesWithM) {
+  const double p = 0.05;
+  double prev = 0;
+  for (int m = 2; m <= 10; ++m) {
+    const double a = WriteLogAvailability(m, 2, p);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+  EXPECT_GT(prev, 0.9999999);
+}
+
+TEST(AvailabilityTest, InitAvailabilityFallsWithM) {
+  const double p = 0.05;
+  double prev = 1.0;
+  for (int m = 2; m <= 10; ++m) {
+    const double a = ClientInitAvailability(m, 2, p);
+    EXPECT_LE(a, prev + 1e-12);
+    prev = a;
+  }
+}
+
+TEST(AvailabilityTest, GeneratorAvailabilityMatchesFormula) {
+  const double p = 0.05;
+  // N=3: majority 2 must be up: at most 1 down.
+  const double expected =
+      std::pow(0.95, 3) + 3 * 0.05 * std::pow(0.95, 2);
+  EXPECT_NEAR(GeneratorAvailability(3, p), expected, 1e-12);
+  // Even N adds no fault tolerance over N-1.
+  EXPECT_NEAR(GeneratorAvailability(4, p),
+              AtMostKDown(4, 1, p), 1e-12);
+}
+
+// Monte-Carlo cross-validation of all three formulas.
+TEST(AvailabilityTest, MonteCarloAgreesWithClosedForm) {
+  Rng rng(42);
+  const double p = 0.05;
+  const int m = 5, n = 2;
+  const int kTrials = 200000;
+  int write_ok = 0, init_ok = 0, read_ok = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    int down = 0;
+    // The N holders of a given record are a fixed subset; count their
+    // failures separately from the total.
+    int holder_down = 0;
+    for (int i = 0; i < m; ++i) {
+      const bool is_down = rng.Bernoulli(p);
+      if (is_down) {
+        ++down;
+        if (i < n) ++holder_down;
+      }
+    }
+    if (down <= m - n) ++write_ok;
+    if (down <= n - 1) ++init_ok;
+    if (holder_down < n) ++read_ok;
+  }
+  EXPECT_NEAR(static_cast<double>(write_ok) / kTrials,
+              WriteLogAvailability(m, n, p), 0.002);
+  EXPECT_NEAR(static_cast<double>(init_ok) / kTrials,
+              ClientInitAvailability(m, n, p), 0.002);
+  EXPECT_NEAR(static_cast<double>(read_ok) / kTrials,
+              ReadAvailability(n, p), 0.002);
+}
+
+// --- Capacity model (Section 4.1) ---
+
+TEST(CapacityTest, PaperTargetLoad) {
+  CapacityInputs in;  // defaults are the paper's 500 TPS configuration
+  CapacityOutputs out = ComputeCapacity(in);
+
+  EXPECT_DOUBLE_EQ(out.system_tps, 500.0);
+  // "about 2400 incoming or outgoing messages per second".
+  EXPECT_NEAR(out.msgs_per_sec_per_server_unbatched, 2400, 150);
+  // "each server must process about 170 RPCs per second".
+  EXPECT_NEAR(out.rpcs_per_sec_per_server_batched, 170, 10);
+  // "around seven million total bits per second".
+  EXPECT_NEAR(out.network_bits_per_sec / 1e6, 7.0, 1.5);
+  // Multicast roughly halves it.
+  EXPECT_LT(out.network_bits_per_sec_multicast,
+            0.65 * out.network_bits_per_sec);
+  // "communication processing will consume less than ten percent".
+  EXPECT_LT(out.cpu_fraction_comm, 0.10);
+  // "only ten to twenty percent of a log server's CPU capacity will be
+  // used for writing log records to non volatile storage".
+  EXPECT_GT(out.cpu_fraction_logging, 0.02);
+  EXPECT_LT(out.cpu_fraction_logging, 0.20);
+  // "approximately ten billion bytes of log data ... per day".
+  EXPECT_NEAR(out.bytes_per_server_per_day / 1e9, 10.0, 1.0);
+}
+
+TEST(CapacityTest, GroupingReducesMessagesSevenfold) {
+  CapacityInputs in;
+  CapacityOutputs out = ComputeCapacity(in);
+  // Grouping seven records into one call: ~7x fewer messages. The
+  // unbatched figure counts request+reply, the batched one counts calls,
+  // so compare call rates.
+  const double unbatched_calls = out.msgs_per_sec_per_server_unbatched / 2;
+  EXPECT_NEAR(unbatched_calls / out.rpcs_per_sec_per_server_batched, 7.0,
+              0.01);
+}
+
+TEST(CapacityTest, DiskUtilizationDependsOnTrackSize) {
+  CapacityInputs small;
+  small.disk_track_bytes = 8 * 1024;
+  CapacityInputs large;
+  large.disk_track_bytes = 32 * 1024;
+  EXPECT_GT(ComputeCapacity(small).disk_utilization,
+            ComputeCapacity(large).disk_utilization);
+  // "Disk utilization will be higher, close to fifty percent for slow
+  // disks with small tracks."
+  CapacityInputs slow;
+  slow.disk_track_bytes = 8 * 1024;
+  slow.disk_rpm = 3000;
+  EXPECT_GT(ComputeCapacity(slow).disk_utilization, 0.30);
+  EXPECT_LT(ComputeCapacity(slow).disk_utilization, 0.60);
+}
+
+TEST(CapacityTest, ReportMentionsKeyRows) {
+  CapacityInputs in;
+  const std::string report = CapacityReport(in, ComputeCapacity(in));
+  EXPECT_NE(report.find("RPCs/server"), std::string::npos);
+  EXPECT_NE(report.find("network load"), std::string::npos);
+  EXPECT_NE(report.find("disk utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlog::analysis

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+#include "common/log_types.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dlog {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing record");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: missing record");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").code() ==
+              StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+Result<int> Doubled(Result<int> in) {
+  DLOG_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_TRUE(Doubled(Status::Aborted("x")).status().IsAborted());
+}
+
+// --- Encoder / Decoder ---
+
+TEST(BytesTest, RoundTripScalars) {
+  Bytes buf;
+  Encoder enc(&buf);
+  enc.PutU8(0xAB);
+  enc.PutU16(0x1234);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutBool(true);
+  enc.PutString("hello");
+
+  Decoder dec(buf);
+  EXPECT_EQ(*dec.GetU8(), 0xAB);
+  EXPECT_EQ(*dec.GetU16(), 0x1234);
+  EXPECT_EQ(*dec.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*dec.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(*dec.GetBool());
+  EXPECT_EQ(*dec.GetString(), "hello");
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(BytesTest, TruncatedDecodeFailsWithCorruption) {
+  Bytes buf;
+  Encoder enc(&buf);
+  enc.PutU64(7);
+  Decoder dec(buf.data(), 3);  // cut mid-integer
+  Result<uint64_t> r = dec.GetU64();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(BytesTest, TruncatedBlobFails) {
+  Bytes buf;
+  Encoder enc(&buf);
+  enc.PutBlob(ToBytes("abcdef"));
+  Decoder dec(buf.data(), buf.size() - 2);
+  EXPECT_FALSE(dec.GetBlob().ok());
+}
+
+TEST(BytesTest, EmptyBlobRoundTrip) {
+  Bytes buf;
+  Encoder enc(&buf);
+  enc.PutBlob(Bytes{});
+  Decoder dec(buf);
+  Result<Bytes> r = dec.GetBlob();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+// --- CRC32C ---
+
+TEST(Crc32cTest, KnownVector) {
+  // Standard CRC-32C check value for "123456789".
+  const Bytes data = ToBytes("123456789");
+  EXPECT_EQ(crc32c::Value(data), 0xE3069283u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWhole) {
+  const Bytes data = ToBytes("distributed logging");
+  uint32_t whole = crc32c::Value(data);
+  uint32_t part = crc32c::Extend(0, data.data(), 5);
+  part = crc32c::Extend(part, data.data() + 5, data.size() - 5);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32cTest, DetectsBitFlip) {
+  Bytes data = ToBytes("log record payload");
+  const uint32_t before = crc32c::Value(data);
+  data[4] ^= 0x01;
+  EXPECT_NE(before, crc32c::Value(data));
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(99);
+  int hits = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / kTrials, 2.0, 0.1);
+}
+
+// --- Interval / MergedLogView ---
+
+TEST(LogTypesTest, IntervalContains) {
+  Interval iv{3, 5, 9};
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_TRUE(iv.Contains(9));
+  EXPECT_FALSE(iv.Contains(4));
+  EXPECT_FALSE(iv.Contains(10));
+}
+
+TEST(LogTypesTest, IntervalListToStringFormats) {
+  IntervalList list = {{1, 1, 3}, {3, 3, 9}};
+  EXPECT_EQ(IntervalListToString(list), "[(<1,1> <3,1>) (<3,3> <9,3>)]");
+}
+
+TEST(MergedLogViewTest, EmptyInput) {
+  MergedLogView view = MergedLogView::Build({});
+  EXPECT_FALSE(view.HighLsn().has_value());
+  EXPECT_EQ(view.Find(1), nullptr);
+}
+
+TEST(MergedLogViewTest, SingleServerSingleInterval) {
+  MergedLogView view = MergedLogView::Build({{7, {2, 1, 5}}});
+  ASSERT_TRUE(view.HighLsn().has_value());
+  EXPECT_EQ(*view.HighLsn(), 5u);
+  const auto* seg = view.Find(3);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->epoch, 2u);
+  EXPECT_EQ(seg->servers, std::vector<ServerId>{7});
+}
+
+// The Figure 3-1 configuration: three servers, the merge must keep only
+// the highest-epoch entry per LSN and remember every holder of it.
+TEST(MergedLogViewTest, Figure31Merge) {
+  std::vector<ServerInterval> intervals = {
+      {1, {1, 1, 3}}, {1, {3, 3, 9}},   // server 1
+      {2, {1, 1, 3}}, {2, {3, 6, 7}},   // server 2
+      {3, {3, 3, 5}}, {3, {3, 8, 9}},   // server 3
+  };
+  MergedLogView view = MergedLogView::Build(intervals);
+
+  ASSERT_EQ(view.segments().size(), 4u);
+  // LSNs 1-2 win at epoch 1 (LSN 3 is superseded by epoch 3).
+  EXPECT_EQ(view.segments()[0],
+            (MergedLogView::Segment{1, 2, 1, {1, 2}}));
+  EXPECT_EQ(view.segments()[1],
+            (MergedLogView::Segment{3, 5, 3, {1, 3}}));
+  EXPECT_EQ(view.segments()[2],
+            (MergedLogView::Segment{6, 7, 3, {1, 2}}));
+  EXPECT_EQ(view.segments()[3],
+            (MergedLogView::Segment{8, 9, 3, {1, 3}}));
+  EXPECT_EQ(*view.HighLsn(), 9u);
+  EXPECT_EQ(*view.HighEpoch(), 3u);
+  EXPECT_EQ(*view.MaxEpoch(), 3u);
+}
+
+TEST(MergedLogViewTest, FindBinarySearch) {
+  MergedLogView view = MergedLogView::Build({
+      {1, {1, 1, 10}},
+      {2, {2, 11, 20}},
+      {3, {3, 21, 30}},
+  });
+  EXPECT_EQ(view.Find(1)->epoch, 1u);
+  EXPECT_EQ(view.Find(15)->epoch, 2u);
+  EXPECT_EQ(view.Find(30)->epoch, 3u);
+  EXPECT_EQ(view.Find(31), nullptr);
+}
+
+TEST(MergedLogViewTest, NoteWriteExtendsTail) {
+  MergedLogView view;
+  view.NoteWrite(1, 5, {1, 2});
+  view.NoteWrite(2, 5, {1, 2});
+  view.NoteWrite(3, 5, {2, 1});  // holder order normalized
+  ASSERT_EQ(view.segments().size(), 1u);
+  EXPECT_EQ(view.segments()[0],
+            (MergedLogView::Segment{1, 3, 5, {1, 2}}));
+}
+
+TEST(MergedLogViewTest, NoteWriteNewServersSplitsSegment) {
+  MergedLogView view;
+  view.NoteWrite(1, 5, {1, 2});
+  view.NoteWrite(2, 5, {1, 2});
+  view.NoteWrite(3, 5, {1, 3});  // switched servers
+  ASSERT_EQ(view.segments().size(), 2u);
+  EXPECT_EQ(view.segments()[1],
+            (MergedLogView::Segment{3, 3, 5, {1, 3}}));
+}
+
+// Recovery copies the tail record under a new epoch: the note must
+// supersede the old coverage of that LSN.
+TEST(MergedLogViewTest, NoteWriteHigherEpochOverridesInterior) {
+  MergedLogView view = MergedLogView::Build({{1, {3, 1, 9}}});
+  view.NoteWrite(9, 4, {1, 2});
+  view.NoteWrite(10, 4, {1, 2});
+  const auto* seg = view.Find(9);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->epoch, 4u);
+  EXPECT_EQ(seg->servers, (std::vector<ServerId>{1, 2}));
+  EXPECT_EQ(view.Find(8)->epoch, 3u);
+  EXPECT_EQ(*view.HighLsn(), 10u);
+}
+
+TEST(MergedLogViewTest, NoteWriteLowerEpochIsIgnored) {
+  MergedLogView view = MergedLogView::Build({{1, {5, 1, 9}}});
+  view.NoteWrite(4, 3, {9});
+  EXPECT_EQ(view.Find(4)->epoch, 5u);
+  EXPECT_EQ(view.Find(4)->servers, (std::vector<ServerId>{1}));
+}
+
+TEST(MergedLogViewTest, EqualEpochOverlapKeepsAllHolders) {
+  MergedLogView view = MergedLogView::Build({
+      {1, {3, 1, 5}},
+      {2, {3, 4, 8}},
+  });
+  EXPECT_EQ(view.Find(4)->servers, (std::vector<ServerId>{1, 2}));
+  EXPECT_EQ(view.Find(2)->servers, (std::vector<ServerId>{1}));
+  EXPECT_EQ(view.Find(7)->servers, (std::vector<ServerId>{2}));
+}
+
+}  // namespace
+}  // namespace dlog

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forest/append_forest.h"
+
+namespace dlog::forest {
+namespace {
+
+using Node = AppendForest::Node;
+
+AppendForest BuildWithKeys(uint64_t n) {
+  AppendForest f;
+  for (uint64_t k = 1; k <= n; ++k) {
+    EXPECT_TRUE(f.Append(k, k * 100).ok());
+  }
+  return f;
+}
+
+TEST(AppendForestTest, EmptyFindIsNotFound) {
+  AppendForest f;
+  EXPECT_TRUE(f.Find(1).status().IsNotFound());
+}
+
+TEST(AppendForestTest, SingleNode) {
+  AppendForest f;
+  ASSERT_TRUE(f.Append(1, 7).ok());
+  Result<Node> n = f.Find(1);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->value, 7u);
+  EXPECT_TRUE(f.CheckInvariants().ok());
+}
+
+TEST(AppendForestTest, RejectsNonContiguousKeys) {
+  AppendForest f;
+  ASSERT_TRUE(f.Append(1, 0).ok());
+  EXPECT_FALSE(f.Append(3, 0).ok());   // gap
+  EXPECT_FALSE(f.Append(1, 0).ok());   // repeat
+  EXPECT_FALSE(f.Append(5, 4, 0).ok());  // inverted range
+}
+
+// Figure 4-3: the eleven-node append forest has trees rooted at keys 7
+// (height 2), 10 (height 1), and 11 (height 0), chained by forest
+// pointers from the most recently appended node.
+TEST(AppendForestTest, Figure43ElevenNodes) {
+  AppendForest f = BuildWithKeys(11);
+  ASSERT_TRUE(f.CheckInvariants().ok());
+
+  std::vector<uint64_t> roots = f.Roots();  // rightmost first
+  ASSERT_EQ(roots.size(), 3u);
+  // Node indices are 0-based: key k lives at index k-1.
+  EXPECT_EQ(f.node(roots[0]).key_high, 11u);
+  EXPECT_EQ(f.node(roots[0]).height, 0u);
+  EXPECT_EQ(f.node(roots[1]).key_high, 10u);
+  EXPECT_EQ(f.node(roots[1]).height, 1u);
+  EXPECT_EQ(f.node(roots[2]).key_high, 7u);
+  EXPECT_EQ(f.node(roots[2]).height, 2u);
+}
+
+// "A new root with key 12 would be appended with a forest pointer linking
+// it to the node with key 11."
+TEST(AppendForestTest, Figure43Append12) {
+  AppendForest f = BuildWithKeys(12);
+  ASSERT_TRUE(f.CheckInvariants().ok());
+  const Node& n12 = f.node(11);
+  EXPECT_EQ(n12.height, 0u);
+  EXPECT_EQ(n12.forest, 10u);  // node with key 11
+}
+
+// "An additional node with key 13 would have height 1, the nodes with
+// keys 11 and 12 as its left and right sons, and a forest pointer linking
+// it to the tree rooted at the node with key 10."
+TEST(AppendForestTest, Figure43Append13) {
+  AppendForest f = BuildWithKeys(13);
+  ASSERT_TRUE(f.CheckInvariants().ok());
+  const Node& n13 = f.node(12);
+  EXPECT_EQ(n13.height, 1u);
+  EXPECT_EQ(n13.left, 10u);    // key 11
+  EXPECT_EQ(n13.right, 11u);   // key 12
+  EXPECT_EQ(n13.forest, 9u);   // tree rooted at key 10
+}
+
+// "Another node with key 14 could then be added with the nodes with keys
+// 10 and 13 as sons, and a forest pointer pointing to the node with key 7."
+TEST(AppendForestTest, Figure43Append14) {
+  AppendForest f = BuildWithKeys(14);
+  ASSERT_TRUE(f.CheckInvariants().ok());
+  const Node& n14 = f.node(13);
+  EXPECT_EQ(n14.height, 2u);
+  EXPECT_EQ(n14.left, 9u);     // key 10
+  EXPECT_EQ(n14.right, 12u);   // key 13
+  EXPECT_EQ(n14.forest, 6u);   // key 7
+}
+
+TEST(AppendForestTest, EveryKeyFindableAtEverySize) {
+  AppendForest f;
+  for (uint64_t k = 1; k <= 300; ++k) {
+    ASSERT_TRUE(f.Append(k, k * 2).ok());
+    // After each append, every key written so far must be reachable.
+    for (uint64_t q = 1; q <= k; ++q) {
+      Result<Node> n = f.Find(q);
+      ASSERT_TRUE(n.ok()) << "key " << q << " lost at size " << k;
+      ASSERT_EQ(n->value, q * 2);
+    }
+  }
+  EXPECT_TRUE(f.CheckInvariants().ok());
+}
+
+TEST(AppendForestTest, InvariantsHoldAtEverySizeUpTo1024) {
+  AppendForest f;
+  for (uint64_t k = 1; k <= 1024; ++k) {
+    ASSERT_TRUE(f.Append(k, 0).ok());
+    ASSERT_TRUE(f.CheckInvariants().ok()) << "size " << k;
+  }
+}
+
+TEST(AppendForestTest, CompleteForestIsSingleTree) {
+  // 2^n - 1 nodes form exactly one complete tree.
+  for (uint32_t h = 0; h <= 9; ++h) {
+    AppendForest f = BuildWithKeys((uint64_t{1} << (h + 1)) - 1);
+    EXPECT_EQ(f.Roots().size(), 1u) << "height " << h;
+    EXPECT_EQ(f.node(f.Roots()[0]).height, h);
+  }
+}
+
+TEST(AppendForestTest, ForestHasAtMostLog2Trees) {
+  AppendForest f;
+  for (uint64_t k = 1; k <= 4096; ++k) {
+    ASSERT_TRUE(f.Append(k, 0).ok());
+    const double bound = std::log2(static_cast<double>(k)) + 1;
+    EXPECT_LE(f.Roots().size(), static_cast<size_t>(bound) + 1)
+        << "at size " << k;
+  }
+}
+
+TEST(AppendForestTest, SearchTraversalsAreLogarithmic) {
+  AppendForest f = BuildWithKeys(1 << 14);
+  uint64_t worst = 0;
+  for (uint64_t q = 1; q <= (1 << 14); q += 37) {
+    uint64_t traversals = 0;
+    ASSERT_TRUE(f.FindCounted(q, &traversals).ok());
+    worst = std::max(worst, traversals);
+  }
+  // O(log2 n) with a small constant: 2*log2(16384) = 28.
+  EXPECT_LE(worst, 28u);
+}
+
+TEST(AppendForestTest, RangeKeysCoverSpans) {
+  AppendForest f;
+  // Ranges as a log server uses them: each node indexes a run of LSNs.
+  ASSERT_TRUE(f.Append(1, 10, 100).ok());
+  ASSERT_TRUE(f.Append(11, 11, 200).ok());
+  ASSERT_TRUE(f.Append(12, 40, 300).ok());
+  ASSERT_TRUE(f.CheckInvariants().ok());
+  EXPECT_EQ(f.Find(5)->value, 100u);
+  EXPECT_EQ(f.Find(11)->value, 200u);
+  EXPECT_EQ(f.Find(12)->value, 300u);
+  EXPECT_EQ(f.Find(40)->value, 300u);
+  EXPECT_TRUE(f.Find(41).status().IsNotFound());
+  EXPECT_TRUE(f.Find(0).status().IsNotFound());
+}
+
+TEST(AppendForestTest, FindBelowFirstKeyIsNotFound) {
+  AppendForest f;
+  ASSERT_TRUE(f.Append(100, 120, 1).ok());
+  EXPECT_TRUE(f.Find(99).status().IsNotFound());
+  EXPECT_TRUE(f.Find(100).ok());
+}
+
+TEST(AppendForestTest, NodesAreImmutableOnceAppended) {
+  AppendForest f = BuildWithKeys(6);
+  // Snapshot all nodes, append more, verify the old nodes are unchanged
+  // (the write-once storage requirement).
+  std::vector<Node> before;
+  for (uint64_t i = 0; i < f.size(); ++i) before.push_back(f.node(i));
+  for (uint64_t k = 7; k <= 64; ++k) ASSERT_TRUE(f.Append(k, 0).ok());
+  for (uint64_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(f.node(i).key_low, before[i].key_low);
+    EXPECT_EQ(f.node(i).key_high, before[i].key_high);
+    EXPECT_EQ(f.node(i).left, before[i].left);
+    EXPECT_EQ(f.node(i).right, before[i].right);
+    EXPECT_EQ(f.node(i).forest, before[i].forest);
+    EXPECT_EQ(f.node(i).height, before[i].height);
+  }
+}
+
+}  // namespace
+}  // namespace dlog::forest

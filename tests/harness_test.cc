@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "harness/et1_driver.h"
+
+namespace dlog::harness {
+namespace {
+
+TEST(ClusterTest, ServersGetSequentialIds) {
+  ClusterConfig cfg;
+  cfg.num_servers = 4;
+  Cluster cluster(cfg);
+  EXPECT_EQ(cluster.num_servers(), 4);
+  EXPECT_EQ(cluster.server_ids(), (std::vector<net::NodeId>{1, 2, 3, 4}));
+  for (int s = 1; s <= 4; ++s) {
+    EXPECT_EQ(cluster.server(s).id(), static_cast<net::NodeId>(s));
+    EXPECT_TRUE(cluster.server(s).IsUp());
+  }
+}
+
+TEST(ClusterTest, MakeClientFillsServersAndNodeIds) {
+  Cluster cluster(ClusterConfig{});
+  auto a = cluster.MakeClient();
+  auto b = cluster.MakeClient();
+  // Distinct auto-assigned node ids (no Attach collisions).
+  bool ready = false;
+  a->Init([&](Status st) { ready = st.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return ready; }));
+  ready = false;
+  b->Init([&](Status st) { ready = st.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return ready; }));
+}
+
+TEST(ClusterTest, RunUntilTimesOut) {
+  Cluster cluster(ClusterConfig{});
+  const sim::Time before = cluster.sim().Now();
+  EXPECT_FALSE(
+      cluster.RunUntil([]() { return false; }, 5 * sim::kSecond));
+  EXPECT_GE(cluster.sim().Now(), before);
+}
+
+TEST(ClusterTest, DualNetworkConfiguration) {
+  ClusterConfig cfg;
+  cfg.num_networks = 2;
+  Cluster cluster(cfg);
+  EXPECT_EQ(cluster.num_networks(), 2);
+  auto c = cluster.MakeClient();
+  bool ready = false;
+  c->Init([&](Status st) { ready = st.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return ready; }));
+}
+
+TEST(Et1DriverTest, GeneratesCommittedTransactions) {
+  Cluster cluster(ClusterConfig{});
+  client::LogClientConfig log_cfg;
+  log_cfg.client_id = 1;
+  Et1DriverConfig cfg;
+  cfg.tps = 50.0;
+  Et1Driver driver(&cluster, log_cfg, cfg);
+  driver.Start();
+  cluster.sim().RunFor(5 * sim::kSecond);
+  EXPECT_TRUE(driver.started());
+  // ~250 expected; allow wide slack for Poisson arrivals.
+  EXPECT_GT(driver.committed(), 150u);
+  EXPECT_LT(driver.committed(), 400u);
+  EXPECT_EQ(driver.failed(), 0u);
+  EXPECT_GT(driver.txn_latency_ms().count(), 0u);
+  // The bank's invariant: all three totals equal.
+  EXPECT_EQ(driver.bank().TotalAccounts(), driver.bank().TotalTellers());
+  EXPECT_EQ(driver.bank().TotalTellers(), driver.bank().TotalBranches());
+}
+
+TEST(Et1DriverTest, StopHaltsArrivals) {
+  Cluster cluster(ClusterConfig{});
+  client::LogClientConfig log_cfg;
+  log_cfg.client_id = 2;
+  Et1DriverConfig cfg;
+  cfg.tps = 50.0;
+  Et1Driver driver(&cluster, log_cfg, cfg);
+  driver.Start();
+  cluster.sim().RunFor(2 * sim::kSecond);
+  driver.Stop();
+  const uint64_t at_stop = driver.committed();
+  cluster.sim().RunFor(3 * sim::kSecond);
+  EXPECT_LE(driver.committed(), at_stop + 2);  // in-flight only
+}
+
+TEST(Et1DriverTest, RetriesInitWhenServersComeUpLate) {
+  ClusterConfig cluster_cfg;
+  Cluster cluster(cluster_cfg);
+  for (int s = 1; s <= 3; ++s) cluster.server(s).Crash();
+  client::LogClientConfig log_cfg;
+  log_cfg.client_id = 3;
+  log_cfg.rpc_timeout = 100 * sim::kMillisecond;
+  log_cfg.rpc_attempts = 2;
+  Et1DriverConfig cfg;
+  Et1Driver driver(&cluster, log_cfg, cfg);
+  driver.Start();
+  cluster.sim().RunFor(3 * sim::kSecond);
+  EXPECT_FALSE(driver.started());
+  for (int s = 1; s <= 3; ++s) cluster.server(s).Restart();
+  cluster.sim().RunFor(5 * sim::kSecond);
+  EXPECT_TRUE(driver.started());
+  EXPECT_GT(driver.committed(), 0u);
+}
+
+}  // namespace
+}  // namespace dlog::harness

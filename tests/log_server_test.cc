@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "server/log_server.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "wire/connection.h"
+#include "wire/messages.h"
+
+namespace dlog::server {
+namespace {
+
+constexpr ClientId kClient = 9;
+
+LogRecord Rec(Lsn lsn, Epoch epoch, bool present = true,
+              std::string_view data = "data") {
+  LogRecord r;
+  r.lsn = lsn;
+  r.epoch = epoch;
+  r.present = present;
+  r.data = ToBytes(data);
+  return r;
+}
+
+/// Drives a LogServer with raw protocol messages, recording everything
+/// the server sends back.
+struct RawDriver {
+  explicit RawDriver(LogServerConfig server_cfg = {}) {
+    server_cfg.node_id = 1;
+    network = std::make_unique<net::Network>(&sim, net::NetworkConfig{});
+    server = std::make_unique<LogServer>(&sim, server_cfg);
+    server->AttachNetwork(network.get());
+
+    cpu = std::make_unique<sim::Cpu>(&sim, 100.0);
+    nic = std::make_unique<net::Nic>(&sim, 64);
+    network->Attach(99, nic.get());
+    endpoint = std::make_unique<wire::Endpoint>(&sim, cpu.get(), 99,
+                                                wire::WireConfig{});
+    endpoint->AttachNetwork(network.get(), nic.get());
+    conn = endpoint->Connect(1);
+    conn->SetMessageHandler([this](const Bytes& payload) {
+      Result<wire::Envelope> env = wire::DecodeEnvelope(payload);
+      if (env.ok()) inbox.push_back(*env);
+    });
+    sim.Run();
+  }
+
+  void Send(Bytes message) {
+    conn->Send(std::move(message));
+    // Bounded run: long-period timers (e.g., a 60 s flush interval used
+    // by some tests) must stay pending.
+    sim.RunFor(2 * sim::kSecond);
+  }
+
+  /// Sends a WriteLog/ForceLog batch.
+  void SendBatch(wire::MessageType type, Epoch epoch,
+                 std::vector<LogRecord> records) {
+    wire::RecordBatch batch;
+    batch.client = kClient;
+    batch.epoch = epoch;
+    batch.records = std::move(records);
+    Send(wire::EncodeRecordBatch(type, batch));
+  }
+
+  /// Last message of the given type, if any.
+  const wire::Envelope* Last(wire::MessageType type) const {
+    for (auto it = inbox.rbegin(); it != inbox.rend(); ++it) {
+      if (it->type == type) return &*it;
+    }
+    return nullptr;
+  }
+
+  int CountOf(wire::MessageType type) const {
+    int n = 0;
+    for (const auto& env : inbox) {
+      if (env.type == type) ++n;
+    }
+    return n;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<LogServer> server;
+  std::unique_ptr<sim::Cpu> cpu;
+  std::unique_ptr<net::Nic> nic;
+  std::unique_ptr<wire::Endpoint> endpoint;
+  wire::Connection* conn = nullptr;
+  std::vector<wire::Envelope> inbox;
+  uint64_t next_rpc = 1;
+};
+
+TEST(LogServerTest, ForceLogAcknowledgedWithNewHighLsn) {
+  RawDriver d;
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1), Rec(2, 1)});
+  const wire::Envelope* ack = d.Last(wire::MessageType::kNewHighLsn);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(wire::DecodeNewHighLsn(ack->body)->new_high_lsn, 2u);
+  EXPECT_EQ(d.server->records_written().value(), 2u);
+}
+
+TEST(LogServerTest, WriteLogIsNotAcknowledged) {
+  RawDriver d;
+  d.SendBatch(wire::MessageType::kWriteLog, 1, {Rec(1, 1)});
+  EXPECT_EQ(d.Last(wire::MessageType::kNewHighLsn), nullptr);
+  EXPECT_EQ(d.server->records_written().value(), 1u);
+}
+
+TEST(LogServerTest, GapTriggersMissingInterval) {
+  RawDriver d;
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1), Rec(2, 1)});
+  // Records 3-4 lost; 5-6 arrive.
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(5, 1), Rec(6, 1)});
+  const wire::Envelope* miss = d.Last(wire::MessageType::kMissingInterval);
+  ASSERT_NE(miss, nullptr);
+  auto m = wire::DecodeMissingInterval(miss->body);
+  EXPECT_EQ(m->low, 3u);
+  EXPECT_EQ(m->high, 4u);
+  // The force ack reports only the contiguous prefix.
+  auto ack = wire::DecodeNewHighLsn(
+      d.Last(wire::MessageType::kNewHighLsn)->body);
+  EXPECT_EQ(ack->new_high_lsn, 2u);
+}
+
+TEST(LogServerTest, ResendFillsGapAndDrainsPending) {
+  RawDriver d;
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1)});
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(4, 1), Rec(5, 1)});
+  // Resend the missing records.
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(2, 1), Rec(3, 1)});
+  auto ack = wire::DecodeNewHighLsn(
+      d.Last(wire::MessageType::kNewHighLsn)->body);
+  EXPECT_EQ(ack->new_high_lsn, 5u);
+  EXPECT_EQ(d.server->IntervalsOf(kClient),
+            (IntervalList{{1, 1, 5}}));
+}
+
+TEST(LogServerTest, NewIntervalSkipsGap) {
+  RawDriver d;
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1)});
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(4, 1), Rec(5, 1)});
+  // The skipped records live elsewhere: start a new interval at 4.
+  d.Send(wire::EncodeNewInterval({kClient, 1, 4}));
+  EXPECT_EQ(d.server->IntervalsOf(kClient),
+            (IntervalList{{1, 1, 1}, {1, 4, 5}}));
+}
+
+TEST(LogServerTest, ProactiveNewIntervalAcceptsJump) {
+  RawDriver d;
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1)});
+  d.Send(wire::EncodeNewInterval({kClient, 1, 10}));
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(10, 1), Rec(11, 1)});
+  EXPECT_EQ(d.server->IntervalsOf(kClient),
+            (IntervalList{{1, 1, 1}, {1, 10, 11}}));
+  EXPECT_EQ(d.CountOf(wire::MessageType::kMissingInterval), 0);
+}
+
+TEST(LogServerTest, DuplicateBatchIsIdempotent) {
+  RawDriver d;
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1), Rec(2, 1)});
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1), Rec(2, 1)});
+  EXPECT_EQ(d.server->records_written().value(), 2u);
+  EXPECT_EQ(d.server->IntervalsOf(kClient), (IntervalList{{1, 1, 2}}));
+}
+
+TEST(LogServerTest, IntervalListRpc) {
+  RawDriver d;
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1), Rec(2, 1)});
+  d.Send(wire::EncodeIntervalListReq({kClient}, d.next_rpc++));
+  const wire::Envelope* resp = d.Last(wire::MessageType::kIntervalListResp);
+  ASSERT_NE(resp, nullptr);
+  auto m = wire::DecodeIntervalListResp(resp->body);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->intervals, (IntervalList{{1, 1, 2}}));
+}
+
+TEST(LogServerTest, IntervalListForUnknownClientIsEmpty) {
+  RawDriver d;
+  d.Send(wire::EncodeIntervalListReq({1234}, d.next_rpc++));
+  auto m = wire::DecodeIntervalListResp(
+      d.Last(wire::MessageType::kIntervalListResp)->body);
+  EXPECT_EQ(m->status, wire::RpcStatus::kOk);
+  EXPECT_TRUE(m->intervals.empty());
+}
+
+TEST(LogServerTest, ReadLogForwardPacksFollowingRecords) {
+  RawDriver d;
+  std::vector<LogRecord> records;
+  for (Lsn l = 1; l <= 10; ++l) records.push_back(Rec(l, 1));
+  d.SendBatch(wire::MessageType::kForceLog, 1, records);
+
+  d.Send(wire::EncodeReadLogReq(wire::MessageType::kReadLogForwardReq,
+                                {kClient, 4}, d.next_rpc++));
+  auto m = wire::DecodeReadLogResp(
+      d.Last(wire::MessageType::kReadLogResp)->body);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->status, wire::RpcStatus::kOk);
+  ASSERT_GE(m->records.size(), 2u);
+  EXPECT_EQ(m->records[0].lsn, 4u);
+  EXPECT_EQ(m->records[1].lsn, 5u);  // forward fill
+}
+
+TEST(LogServerTest, ReadLogBackwardPacksPrecedingRecords) {
+  RawDriver d;
+  std::vector<LogRecord> records;
+  for (Lsn l = 1; l <= 10; ++l) records.push_back(Rec(l, 1));
+  d.SendBatch(wire::MessageType::kForceLog, 1, records);
+
+  d.Send(wire::EncodeReadLogReq(wire::MessageType::kReadLogBackwardReq,
+                                {kClient, 5}, d.next_rpc++));
+  auto m = wire::DecodeReadLogResp(
+      d.Last(wire::MessageType::kReadLogResp)->body);
+  ASSERT_TRUE(m.ok());
+  ASSERT_GE(m->records.size(), 2u);
+  EXPECT_EQ(m->records[0].lsn, 5u);
+  EXPECT_EQ(m->records[1].lsn, 4u);  // backward fill
+}
+
+TEST(LogServerTest, ReadOfUnstoredLsnIsNotFound) {
+  RawDriver d;
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1)});
+  d.Send(wire::EncodeReadLogReq(wire::MessageType::kReadLogForwardReq,
+                                {kClient, 7}, d.next_rpc++));
+  auto m = wire::DecodeReadLogResp(
+      d.Last(wire::MessageType::kReadLogResp)->body);
+  EXPECT_EQ(m->status, wire::RpcStatus::kNotFound);
+}
+
+TEST(LogServerTest, CopyLogInstallCopiesFlow) {
+  RawDriver d;
+  std::vector<LogRecord> records;
+  for (Lsn l = 1; l <= 9; ++l) records.push_back(Rec(l, 3));
+  d.SendBatch(wire::MessageType::kForceLog, 3, records);
+
+  // Stage copies with the new epoch 4.
+  wire::CopyLogReq creq;
+  creq.client = kClient;
+  creq.epoch = 4;
+  creq.records = {Rec(9, 4, true, "copy"), Rec(10, 4, false, "")};
+  d.Send(wire::EncodeCopyLogReq(creq, d.next_rpc++));
+  auto cresp = wire::DecodeCopyLogResp(
+      d.Last(wire::MessageType::kCopyLogResp)->body);
+  EXPECT_EQ(cresp->status, wire::RpcStatus::kOk);
+  // Not yet visible.
+  EXPECT_EQ(d.server->IntervalsOf(kClient), (IntervalList{{3, 1, 9}}));
+
+  d.Send(wire::EncodeInstallCopiesReq({kClient, 4}, d.next_rpc++));
+  auto iresp = wire::DecodeInstallCopiesResp(
+      d.Last(wire::MessageType::kInstallCopiesResp)->body);
+  EXPECT_EQ(iresp->status, wire::RpcStatus::kOk);
+  EXPECT_EQ(d.server->IntervalsOf(kClient),
+            (IntervalList{{3, 1, 9}, {4, 9, 10}}));
+}
+
+TEST(LogServerTest, MismatchedCopyEpochRejected) {
+  RawDriver d;
+  wire::CopyLogReq creq;
+  creq.client = kClient;
+  creq.epoch = 4;
+  creq.records = {Rec(9, 5)};  // record epoch != call epoch
+  d.Send(wire::EncodeCopyLogReq(creq, d.next_rpc++));
+  auto resp = wire::DecodeCopyLogResp(
+      d.Last(wire::MessageType::kCopyLogResp)->body);
+  EXPECT_EQ(resp->status, wire::RpcStatus::kError);
+}
+
+TEST(LogServerTest, LoadSheddingIgnoresWritesWhenNvramFull) {
+  LogServerConfig cfg;
+  cfg.nvram_bytes = 600;  // tiny group buffer
+  cfg.shed_nvram_fraction = 0.5;
+  cfg.flush_interval = 60 * sim::kSecond;  // no flushing: stay full
+  RawDriver d(cfg);
+
+  d.SendBatch(wire::MessageType::kForceLog, 1,
+              {Rec(1, 1, true, std::string(300, 'x'))});
+  const uint64_t written = d.server->records_written().value();
+  d.SendBatch(wire::MessageType::kForceLog, 1,
+              {Rec(2, 1, true, std::string(300, 'y'))});
+  // Second write shed silently: no ack progress, no new record.
+  EXPECT_EQ(d.server->records_written().value(), written);
+  EXPECT_GT(d.server->writes_shed().value(), 0u);
+}
+
+TEST(LogServerTest, GeneratorCellsSurviveCrash) {
+  RawDriver d;
+  d.Send(wire::EncodeGenWriteReq({kClient, 42}, d.next_rpc++));
+  auto wr = wire::DecodeGenWriteResp(
+      d.Last(wire::MessageType::kGenWriteResp)->body);
+  EXPECT_EQ(wr->status, wire::RpcStatus::kOk);
+
+  d.server->Crash();
+  d.sim.RunFor(10 * sim::kMillisecond);
+  d.server->Restart();
+
+  EXPECT_EQ(d.server->generator_cell(kClient)->Read(), 42u);
+}
+
+TEST(LogServerTest, CrashRestartRebuildsFromNvramAndDisk) {
+  LogServerConfig cfg;
+  cfg.disk.track_bytes = 2048;
+  cfg.flush_interval = 10 * sim::kMillisecond;
+  RawDriver d(cfg);
+
+  std::vector<LogRecord> records;
+  for (Lsn l = 1; l <= 40; ++l) {
+    records.push_back(Rec(l, 1, true, std::string(100, 'a')));
+  }
+  // Send in chunks so several tracks fill.
+  for (size_t i = 0; i < records.size(); i += 8) {
+    d.SendBatch(
+        wire::MessageType::kForceLog, 1,
+        std::vector<LogRecord>(records.begin() + i,
+                               records.begin() + i + 8));
+  }
+  d.sim.RunFor(sim::kSecond);  // allow flushes
+  ASSERT_GT(d.server->tracks_written().value(), 1u);
+
+  d.server->Crash();
+  d.sim.RunFor(100 * sim::kMillisecond);
+  d.server->Restart();
+
+  // Everything is recovered, in order, as one interval.
+  EXPECT_EQ(d.server->IntervalsOf(kClient), (IntervalList{{1, 1, 40}}));
+  std::vector<LogRecord> recovered = d.server->RecordsOf(kClient);
+  ASSERT_EQ(recovered.size(), 40u);
+  for (Lsn l = 1; l <= 40; ++l) {
+    EXPECT_EQ(recovered[l - 1].lsn, l);
+    EXPECT_EQ(recovered[l - 1].data, ToBytes(std::string(100, 'a')));
+  }
+}
+
+TEST(LogServerTest, UnflushedNvramRecordsSurviveCrash) {
+  LogServerConfig cfg;
+  cfg.flush_interval = 60 * sim::kSecond;  // records stay in NVRAM
+  RawDriver d(cfg);
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1), Rec(2, 1)});
+  EXPECT_EQ(d.server->tracks_written().value(), 0u);  // never hit disk
+
+  d.server->Crash();
+  d.sim.RunFor(10 * sim::kMillisecond);
+  d.server->Restart();
+  EXPECT_EQ(d.server->IntervalsOf(kClient), (IntervalList{{1, 1, 2}}));
+}
+
+TEST(LogServerTest, DownServerIgnoresTraffic) {
+  RawDriver d;
+  d.server->Crash();
+  d.SendBatch(wire::MessageType::kForceLog, 1, {Rec(1, 1)});
+  EXPECT_EQ(d.server->records_written().value(), 0u);
+  EXPECT_EQ(d.Last(wire::MessageType::kNewHighLsn), nullptr);
+}
+
+TEST(LogServerTest, WriteOnceDiskModeWorks) {
+  LogServerConfig cfg;
+  cfg.disk.write_once = true;  // optical storage (Section 4.3)
+  cfg.disk.track_bytes = 2048;
+  cfg.flush_interval = 10 * sim::kMillisecond;
+  RawDriver d(cfg);
+  for (Lsn l = 1; l <= 30; ++l) {
+    d.SendBatch(wire::MessageType::kForceLog, 1,
+                {Rec(l, 1, true, std::string(100, 'w'))});
+  }
+  d.sim.RunFor(sim::kSecond);
+  EXPECT_GT(d.server->tracks_written().value(), 0u);
+  d.server->Crash();
+  d.sim.RunFor(10 * sim::kMillisecond);
+  d.server->Restart();
+  EXPECT_EQ(d.server->IntervalsOf(kClient), (IntervalList{{1, 1, 30}}));
+}
+
+}  // namespace
+}  // namespace dlog::server

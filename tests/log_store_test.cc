@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "common/log_types.h"
+#include "server/client_log_store.h"
+#include "server/track_format.h"
+
+namespace dlog::server {
+namespace {
+
+LogRecord Rec(Lsn lsn, Epoch epoch, bool present = true,
+              std::string_view data = "d") {
+  LogRecord r;
+  r.lsn = lsn;
+  r.epoch = epoch;
+  r.present = present;
+  r.data = ToBytes(data);
+  return r;
+}
+
+TEST(ClientLogStoreTest, EmptyStore) {
+  ClientLogStore store;
+  EXPECT_EQ(store.HighestLsn(), kNoLsn);
+  EXPECT_EQ(store.TailEpoch(), 0u);
+  EXPECT_TRUE(store.Intervals().empty());
+  EXPECT_TRUE(store.Read(1).status().IsNotFound());
+}
+
+TEST(ClientLogStoreTest, SequentialWritesFormOneInterval) {
+  ClientLogStore store;
+  for (Lsn l = 1; l <= 5; ++l) ASSERT_TRUE(store.Write(Rec(l, 1)).ok());
+  IntervalList ivs = store.Intervals();
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0], (Interval{1, 1, 5}));
+  EXPECT_EQ(store.HighestLsn(), 5u);
+  EXPECT_EQ(store.ExpectedNextLsn(), 6u);
+}
+
+TEST(ClientLogStoreTest, LsnZeroRejected) {
+  ClientLogStore store;
+  EXPECT_FALSE(store.Write(Rec(0, 1)).ok());
+}
+
+TEST(ClientLogStoreTest, GapStartsNewInterval) {
+  ClientLogStore store;
+  ASSERT_TRUE(store.Write(Rec(1, 1)).ok());
+  ASSERT_TRUE(store.Write(Rec(2, 1)).ok());
+  // Client switched away and back: LSNs 3-4 live elsewhere.
+  ASSERT_TRUE(store.Write(Rec(5, 1)).ok());
+  IntervalList ivs = store.Intervals();
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0], (Interval{1, 1, 2}));
+  EXPECT_EQ(ivs[1], (Interval{1, 5, 5}));
+}
+
+TEST(ClientLogStoreTest, EpochChangeStartsNewInterval) {
+  ClientLogStore store;
+  ASSERT_TRUE(store.Write(Rec(1, 1)).ok());
+  ASSERT_TRUE(store.Write(Rec(2, 3)).ok());
+  ASSERT_EQ(store.Intervals().size(), 2u);
+  EXPECT_EQ(store.TailEpoch(), 3u);
+}
+
+TEST(ClientLogStoreTest, OutOfOrderRejected) {
+  ClientLogStore store;
+  ASSERT_TRUE(store.Write(Rec(5, 2)).ok());
+  EXPECT_FALSE(store.Write(Rec(3, 2)).ok());   // lower LSN
+  EXPECT_FALSE(store.Write(Rec(6, 1)).ok());   // lower epoch
+  EXPECT_FALSE(store.Write(Rec(5, 2, false)).ok());  // conflicting dup
+}
+
+TEST(ClientLogStoreTest, ExactDuplicateIsIdempotent) {
+  ClientLogStore store;
+  ASSERT_TRUE(store.Write(Rec(1, 1)).ok());
+  ASSERT_TRUE(store.Write(Rec(1, 1)).ok());  // redelivery
+  EXPECT_EQ(store.record_count(), 1u);
+}
+
+// Figure 3-3, Server 1: the recovery procedure rewrites the tail record
+// <9,3> as <9,4> — same LSN, higher epoch.
+TEST(ClientLogStoreTest, TailRecopyWithHigherEpoch) {
+  ClientLogStore store;
+  for (Lsn l = 1; l <= 9; ++l) ASSERT_TRUE(store.Write(Rec(l, 3)).ok());
+  ASSERT_TRUE(store.Write(Rec(9, 4)).ok());
+  ASSERT_TRUE(store.Write(Rec(10, 4, false, "")).ok());
+  IntervalList ivs = store.Intervals();
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0], (Interval{3, 1, 9}));
+  EXPECT_EQ(ivs[1], (Interval{4, 9, 10}));
+  // ServerReadLog returns the highest-epoch version.
+  EXPECT_EQ(store.Read(9)->epoch, 4u);
+  EXPECT_FALSE(store.Read(10)->present);
+}
+
+// Reconstructs Server 1 of Figure 3-1 record by record.
+TEST(ClientLogStoreTest, Figure31Server1) {
+  ClientLogStore store;
+  for (Lsn l = 1; l <= 3; ++l) ASSERT_TRUE(store.Write(Rec(l, 1)).ok());
+  ASSERT_TRUE(store.Write(Rec(3, 3)).ok());           // recovery copy
+  ASSERT_TRUE(store.Write(Rec(4, 3, false, "")).ok());  // not present
+  for (Lsn l = 5; l <= 9; ++l) ASSERT_TRUE(store.Write(Rec(l, 3)).ok());
+
+  IntervalList ivs = store.Intervals();
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0], (Interval{1, 1, 3}));
+  EXPECT_EQ(ivs[1], (Interval{3, 3, 9}));
+  EXPECT_EQ(store.Read(3)->epoch, 3u);
+  EXPECT_FALSE(store.Read(4)->present);
+  EXPECT_TRUE(store.Read(5)->present);
+}
+
+TEST(ClientLogStoreTest, StagedCopiesInvisibleUntilInstall) {
+  ClientLogStore store;
+  for (Lsn l = 1; l <= 9; ++l) ASSERT_TRUE(store.Write(Rec(l, 3)).ok());
+  ASSERT_TRUE(store.StageCopy(Rec(9, 4, true, "copy")).ok());
+  ASSERT_TRUE(store.StageCopy(Rec(10, 4, false, "")).ok());
+
+  // Not visible yet.
+  EXPECT_EQ(store.Read(9)->epoch, 3u);
+  EXPECT_EQ(store.HighestLsn(), 9u);
+  EXPECT_EQ(store.Intervals().size(), 1u);
+  EXPECT_EQ(store.staged_count(), 2u);
+
+  Result<std::vector<LogRecord>> installed = store.InstallCopies(4);
+  ASSERT_TRUE(installed.ok());
+  EXPECT_EQ(installed->size(), 2u);
+  EXPECT_EQ(store.Read(9)->epoch, 4u);
+  EXPECT_EQ(store.Read(9)->data, ToBytes("copy"));
+  EXPECT_EQ(store.HighestLsn(), 10u);
+  EXPECT_EQ(store.staged_count(), 0u);
+}
+
+TEST(ClientLogStoreTest, InstallOfUnknownEpochIsNoOp) {
+  ClientLogStore store;
+  Result<std::vector<LogRecord>> r = store.InstallCopies(99);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(ClientLogStoreTest, InstallSortsByLsn) {
+  ClientLogStore store;
+  for (Lsn l = 1; l <= 5; ++l) ASSERT_TRUE(store.Write(Rec(l, 1)).ok());
+  // Staged out of order.
+  ASSERT_TRUE(store.StageCopy(Rec(5, 2, true, "b")).ok());
+  ASSERT_TRUE(store.StageCopy(Rec(4, 2, true, "a")).ok());
+  ASSERT_TRUE(store.InstallCopies(2).ok());
+  IntervalList ivs = store.Intervals();
+  // Installed copies form a contiguous epoch-2 sequence 4-5.
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[1], (Interval{2, 4, 5}));
+}
+
+TEST(ClientLogStoreTest, CopiesForDifferentEpochsAreIndependent) {
+  ClientLogStore store;
+  ASSERT_TRUE(store.Write(Rec(1, 1)).ok());
+  ASSERT_TRUE(store.StageCopy(Rec(1, 2)).ok());
+  ASSERT_TRUE(store.StageCopy(Rec(1, 3)).ok());
+  ASSERT_TRUE(store.InstallCopies(3).ok());
+  EXPECT_EQ(store.Read(1)->epoch, 3u);
+  EXPECT_EQ(store.staged_count(), 1u);  // epoch-2 copy still staged
+}
+
+TEST(ClientLogStoreTest, FromRecordsRoundTrip) {
+  ClientLogStore store;
+  for (Lsn l = 1; l <= 3; ++l) ASSERT_TRUE(store.Write(Rec(l, 1)).ok());
+  ASSERT_TRUE(store.Write(Rec(3, 3)).ok());
+  ASSERT_TRUE(store.Write(Rec(4, 3, false, "")).ok());
+  ASSERT_TRUE(store.Write(Rec(5, 3)).ok());
+
+  ClientLogStore rebuilt = ClientLogStore::FromRecords(store.stream());
+  EXPECT_EQ(rebuilt.Intervals(), store.Intervals());
+  EXPECT_EQ(rebuilt.record_count(), store.record_count());
+  EXPECT_EQ(rebuilt.Read(3)->epoch, 3u);
+}
+
+TEST(ClientLogStoreTest, FromRecordsSkipsDuplicates) {
+  std::vector<LogRecord> records = {Rec(1, 1), Rec(2, 1), Rec(1, 1),
+                                    Rec(2, 1), Rec(3, 1)};
+  ClientLogStore store = ClientLogStore::FromRecords(records);
+  EXPECT_EQ(store.record_count(), 3u);
+  ASSERT_EQ(store.Intervals().size(), 1u);
+  EXPECT_EQ(store.Intervals()[0], (Interval{1, 1, 3}));
+}
+
+// --- Track format ---
+
+TEST(TrackFormatTest, EntryRoundTrip) {
+  StreamEntry e{42, Rec(7, 3, true, "payload")};
+  Bytes encoded = EncodeStreamEntry(e);
+  EXPECT_EQ(encoded.size(), StreamEntrySize(e));
+  Result<StreamEntry> decoded = DecodeStreamEntry(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, e);
+}
+
+TEST(TrackFormatTest, TrackRoundTrip) {
+  std::vector<StreamEntry> entries = {
+      {1, Rec(1, 1, true, "a")},
+      {2, Rec(100, 5, false, "")},
+      {1, Rec(2, 1, true, "interleaved")},
+  };
+  Bytes track = EncodeTrack(entries);
+  Result<std::vector<StreamEntry>> decoded = DecodeTrack(track);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, entries);
+}
+
+TEST(TrackFormatTest, CorruptTrackDetected) {
+  Bytes track = EncodeTrack({{1, Rec(1, 1)}});
+  track[track.size() / 2] ^= 0xFF;
+  EXPECT_TRUE(DecodeTrack(track).status().IsCorruption());
+}
+
+TEST(TrackFormatTest, EmptyTrack) {
+  Bytes track = EncodeTrack({});
+  Result<std::vector<StreamEntry>> decoded = DecodeTrack(track);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+}  // namespace
+}  // namespace dlog::server

@@ -1,0 +1,191 @@
+// Media-failure repair (Section 5.3's "repair of a log when one
+// redundant copy is lost"): a server loses its storage; RepairLog
+// restores N-way redundancy from the surviving copies.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "harness/cluster.h"
+
+namespace dlog {
+namespace {
+
+using client::LogClientConfig;
+using harness::Cluster;
+using harness::ClusterConfig;
+
+struct Fixture {
+  explicit Fixture(int servers = 4) : cluster(MakeConfig(servers)) {
+    LogClientConfig cfg;
+    cfg.client_id = 1;
+    log = cluster.MakeClient(cfg);
+    bool ready = false;
+    log->Init([&](Status st) { ready = st.ok(); });
+    cluster.RunUntil([&]() { return ready; });
+    EXPECT_TRUE(log->IsInitialized());
+  }
+
+  static ClusterConfig MakeConfig(int servers) {
+    ClusterConfig cfg;
+    cfg.num_servers = servers;
+    return cfg;
+  }
+
+  void WriteForced(int n) {
+    Lsn last = kNoLsn;
+    for (int i = 0; i < n; ++i) {
+      auto lsn = log->WriteLog(ToBytes("rec" + std::to_string(i)));
+      ASSERT_TRUE(lsn.ok());
+      last = *lsn;
+    }
+    bool done = false;
+    log->ForceLog(last, [&](Status st) {
+      EXPECT_TRUE(st.ok());
+      done = true;
+    });
+    ASSERT_TRUE(cluster.RunUntil([&]() { return done; }));
+  }
+
+  Status Repair() {
+    Status result = Status::Internal("never");
+    bool done = false;
+    log->RepairLog([&](Status st) {
+      result = st;
+      done = true;
+    });
+    cluster.RunUntil([&]() { return done; }, 120 * sim::kSecond);
+    return result;
+  }
+
+  int HoldersOf(Lsn lsn) {
+    int holders = 0;
+    for (int s = 1; s <= cluster.num_servers(); ++s) {
+      if (!cluster.server(s).IsUp()) continue;
+      for (const LogRecord& r : cluster.server(s).RecordsOf(1)) {
+        if (r.lsn == lsn) {
+          ++holders;
+          break;
+        }
+      }
+    }
+    return holders;
+  }
+
+  /// The server holding LSN 1 (a write-set member).
+  int VictimFor(Lsn lsn) {
+    for (int s = 1; s <= cluster.num_servers(); ++s) {
+      for (const LogRecord& r : cluster.server(s).RecordsOf(1)) {
+        if (r.lsn == lsn) return s;
+      }
+    }
+    return 0;
+  }
+
+  Cluster cluster;
+  std::unique_ptr<client::LogClient> log;
+};
+
+TEST(RepairTest, NoopWhenFullyReplicated) {
+  Fixture f;
+  f.WriteForced(10);
+  EXPECT_TRUE(f.Repair().ok());
+  for (Lsn lsn = 1; lsn <= 10; ++lsn) EXPECT_EQ(f.HoldersOf(lsn), 2);
+}
+
+TEST(RepairTest, RestoresRedundancyAfterMediaLoss) {
+  Fixture f;
+  f.WriteForced(30);
+  const int victim = f.VictimFor(1);
+  ASSERT_NE(victim, 0);
+  f.cluster.server(victim).WipeStorage();
+  f.cluster.server(victim).Restart();
+  f.cluster.sim().RunFor(sim::kSecond);
+
+  // Redundancy lost: one holder for the victim's share.
+  EXPECT_EQ(f.HoldersOf(1), 1);
+
+  ASSERT_TRUE(f.Repair().ok());
+  // Every record has two holders again.
+  for (Lsn lsn = 1; lsn <= 30; ++lsn) {
+    EXPECT_GE(f.HoldersOf(lsn), 2) << "lsn " << lsn;
+  }
+  // And everything still reads back correctly.
+  for (Lsn lsn = 1; lsn <= 30; lsn += 7) {
+    bool done = false;
+    Result<Bytes> r = Status::Internal("never");
+    f.log->ReadLog(lsn, [&](Result<Bytes> got) {
+      r = std::move(got);
+      done = true;
+    });
+    ASSERT_TRUE(f.cluster.RunUntil([&]() { return done; }));
+    EXPECT_TRUE(r.ok()) << "lsn " << lsn;
+  }
+}
+
+TEST(RepairTest, SurvivesSubsequentLossOfOriginalHolder) {
+  Fixture f;
+  f.WriteForced(20);
+  const int victim = f.VictimFor(1);
+  f.cluster.server(victim).WipeStorage();
+  f.cluster.server(victim).Restart();
+  ASSERT_TRUE(f.Repair().ok());
+
+  // Now wipe the *other* original holder: the repaired copies must carry
+  // the log on their own.
+  const int second = f.VictimFor(1);
+  ASSERT_NE(second, 0);
+  f.cluster.server(second).WipeStorage();
+  f.cluster.server(second).Restart();
+  f.cluster.sim().RunFor(sim::kSecond);
+
+  for (Lsn lsn = 1; lsn <= 20; lsn += 5) {
+    EXPECT_GE(f.HoldersOf(lsn), 1) << "lsn " << lsn;
+  }
+  // A fresh client recovers the full log from the repaired copies.
+  f.log->Crash();
+  LogClientConfig cfg;
+  cfg.client_id = 1;
+  cfg.node_id = 2000;
+  auto log2 = f.cluster.MakeClient(cfg);
+  bool ready = false;
+  for (int attempt = 0; attempt < 5 && !ready; ++attempt) {
+    bool done = false;
+    log2->Init([&](Status st) {
+      ready = st.ok();
+      done = true;
+    });
+    ASSERT_TRUE(f.cluster.RunUntil([&]() { return done; },
+                                   60 * sim::kSecond));
+  }
+  ASSERT_TRUE(ready);
+  EXPECT_GE(log2->EndOfLog(), 20u);
+  bool done = false;
+  Result<Bytes> r = Status::Internal("never");
+  log2->ReadLog(1, [&](Result<Bytes> got) {
+    r = std::move(got);
+    done = true;
+  });
+  ASSERT_TRUE(f.cluster.RunUntil([&]() { return done; }));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToString(*r), "rec0");
+}
+
+TEST(RepairTest, ReportsPartialWhenNoSpareServers) {
+  Fixture f(2);  // M = N = 2: no spare server to repair onto
+  f.WriteForced(5);
+  const int victim = f.VictimFor(1);
+  f.cluster.server(victim).WipeStorage();
+  f.cluster.server(victim).Restart();
+  f.cluster.sim().RunFor(sim::kSecond);
+  Status st = f.Repair();
+  // With M == N the only eligible target is the wiped server itself,
+  // which no longer appears as a holder — so repair succeeds by copying
+  // back onto it.
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GE(f.HoldersOf(1), 2);
+}
+
+}  // namespace
+}  // namespace dlog

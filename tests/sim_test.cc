@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace dlog::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30, [&]() { order.push_back(3); });
+  sim.At(10, [&]() { order.push_back(1); });
+  sim.At(20, [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimesRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(5, [&order, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  Time fired = 0;
+  sim.At(100, [&]() {
+    sim.After(50, [&]() { fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 150u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.At(10, [&]() { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.At(10, [&]() { ++count; });
+  sim.At(20, [&]() { ++count; });
+  sim.At(30, [&]() { ++count; });
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), 20u);
+  sim.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) sim.After(1, recurse);
+  };
+  sim.After(1, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(SecondsToDuration(1.5), 1'500'000'000u);
+  EXPECT_EQ(SecondsToDuration(-1.0), 0u);
+  EXPECT_DOUBLE_EQ(DurationToSeconds(2 * kSecond), 2.0);
+  EXPECT_EQ(kMillisecond, 1'000'000u);
+}
+
+// --- Cpu ---
+
+TEST(CpuTest, ExecutionTimeMatchesMips) {
+  Simulator sim;
+  Cpu cpu(&sim, 1.0);  // 1 MIPS: 1000 instructions = 1 ms
+  Time done_at = 0;
+  cpu.Execute(1000, [&]() { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, kMillisecond);
+}
+
+TEST(CpuTest, WorkIsServedFifo) {
+  Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  std::vector<Time> completions;
+  cpu.Execute(1000, [&]() { completions.push_back(sim.Now()); });
+  cpu.Execute(2000, [&]() { completions.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], kMillisecond);
+  EXPECT_EQ(completions[1], 3 * kMillisecond);  // queued behind the first
+}
+
+TEST(CpuTest, UtilizationTracksBusyFraction) {
+  Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  cpu.Execute(1000, nullptr);  // busy 1 ms
+  sim.RunUntil(4 * kMillisecond);
+  EXPECT_NEAR(cpu.Utilization(), 0.25, 1e-9);
+}
+
+TEST(CpuTest, ResetStatsStartsNewWindow) {
+  Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  cpu.Execute(1000, nullptr);
+  sim.RunUntil(2 * kMillisecond);
+  cpu.ResetStats();
+  sim.RunUntil(4 * kMillisecond);
+  EXPECT_NEAR(cpu.Utilization(), 0.0, 1e-9);
+}
+
+TEST(CpuTest, InstructionsToTime) {
+  Simulator sim;
+  Cpu cpu(&sim, 4.0);
+  EXPECT_EQ(cpu.InstructionsToTime(4'000'000), kSecond);
+}
+
+// --- Stats ---
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 3.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.Add(0.0);
+  h.Add(10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.25), 2.5);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, AddAfterQueryResorts) {
+  Histogram h;
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+  h.Add(9.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 9.0);
+}
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+}  // namespace
+}  // namespace dlog::sim

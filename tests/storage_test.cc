@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "sim/simulator.h"
+#include "storage/disk.h"
+#include "storage/nvram.h"
+
+namespace dlog::storage {
+namespace {
+
+TEST(SimDiskTest, WriteThenReadRoundTrip) {
+  sim::Simulator sim;
+  SimDisk disk(&sim, DiskConfig{});
+  Bytes data = ToBytes("track zero contents");
+
+  Status write_status = Status::Internal("not called");
+  disk.WriteTrack(0, data, [&](Status st) { write_status = st; });
+  sim.Run();
+  EXPECT_TRUE(write_status.ok());
+
+  Result<Bytes> read = Status::Internal("not called");
+  disk.ReadTrack(0, [&](Result<Bytes> r) { read = std::move(r); });
+  sim.Run();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST(SimDiskTest, ReadUnwrittenTrackIsNotFound) {
+  sim::Simulator sim;
+  SimDisk disk(&sim, DiskConfig{});
+  Result<Bytes> read = Status::Internal("not called");
+  disk.ReadTrack(5, [&](Result<Bytes> r) { read = std::move(r); });
+  sim.Run();
+  EXPECT_TRUE(read.status().IsNotFound());
+}
+
+TEST(SimDiskTest, OversizedWriteRejected) {
+  sim::Simulator sim;
+  DiskConfig cfg;
+  cfg.track_bytes = 64;
+  SimDisk disk(&sim, cfg);
+  Status st = Status::OK();
+  disk.WriteTrack(0, Bytes(65, 0), [&](Status s) { st = s; });
+  sim.Run();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimDiskTest, OutOfRangeTrackRejected) {
+  sim::Simulator sim;
+  DiskConfig cfg;
+  cfg.num_tracks = 10;
+  SimDisk disk(&sim, cfg);
+  Status st = Status::OK();
+  disk.WriteTrack(10, Bytes(1, 0), [&](Status s) { st = s; });
+  sim.Run();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimDiskTest, WriteOnceModeForbidsOverwrite) {
+  sim::Simulator sim;
+  DiskConfig cfg;
+  cfg.write_once = true;
+  SimDisk disk(&sim, cfg);
+  Status first = Status::Internal("x"), second = Status::OK();
+  disk.WriteTrack(3, ToBytes("a"), [&](Status s) { first = s; });
+  sim.Run();
+  disk.WriteTrack(3, ToBytes("b"), [&](Status s) { second = s; });
+  sim.Run();
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ToString(*disk.Peek(3)), "a");
+}
+
+TEST(SimDiskTest, SequentialWritesSkipSeek) {
+  sim::Simulator sim;
+  DiskConfig cfg;
+  cfg.rpm = 3600;  // 16.67 ms/rotation
+  cfg.avg_seek = 25 * sim::kMillisecond;
+  SimDisk disk(&sim, cfg);
+
+  sim::Time t0 = 0, t1 = 0, t2 = 0;
+  disk.WriteTrack(0, Bytes(1, 0), [&](Status) { t0 = sim.Now(); });
+  sim.Run();
+  disk.WriteTrack(1, Bytes(1, 0), [&](Status) { t1 = sim.Now(); });
+  sim.Run();
+  disk.WriteTrack(500, Bytes(1, 0), [&](Status) { t2 = sim.Now(); });
+  sim.Run();
+  const sim::Duration sequential = t1 - t0;
+  const sim::Duration seeky = t2 - t1;
+  EXPECT_EQ(seeky, sequential + cfg.avg_seek);
+}
+
+TEST(SimDiskTest, CrashDropsInFlightWritePreservesContents) {
+  sim::Simulator sim;
+  SimDisk disk(&sim, DiskConfig{});
+  bool called = false;
+  disk.WriteTrack(0, ToBytes("durable"), [&](Status) { called = true; });
+  sim.Run();
+  ASSERT_TRUE(called);
+
+  bool second_called = false;
+  disk.WriteTrack(1, ToBytes("torn"), [&](Status) { second_called = true; });
+  disk.Crash();  // before the write completes
+  sim.Run();
+  EXPECT_FALSE(second_called);
+  EXPECT_TRUE(disk.IsWritten(0));   // old contents survive
+  EXPECT_FALSE(disk.IsWritten(1));  // in-flight write lost whole
+}
+
+TEST(SimDiskTest, RequestsAreServedFifo) {
+  sim::Simulator sim;
+  SimDisk disk(&sim, DiskConfig{});
+  std::vector<int> order;
+  disk.WriteTrack(0, Bytes(1, 0), [&](Status) { order.push_back(0); });
+  disk.WriteTrack(1, Bytes(1, 0), [&](Status) { order.push_back(1); });
+  disk.ReadTrack(0, [&](Result<Bytes>) { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimDiskTest, UtilizationGrowsWithLoad) {
+  sim::Simulator sim;
+  SimDisk disk(&sim, DiskConfig{});
+  disk.WriteTrack(0, Bytes(1, 0), nullptr);
+  sim.Run();
+  const double busy = disk.Utilization();
+  EXPECT_GT(busy, 0.99);  // nothing but the write happened yet
+  sim.RunUntil(sim.Now() * 2);
+  EXPECT_NEAR(disk.Utilization(), busy / 2, 0.01);
+}
+
+// --- Nvram ---
+
+TEST(NvramTest, PutGetErase) {
+  Nvram nv(1024);
+  ASSERT_TRUE(nv.Put("intervals", ToBytes("abc")).ok());
+  EXPECT_EQ(ToString(*nv.Get("intervals")), "abc");
+  EXPECT_EQ(nv.used(), 3u);
+  ASSERT_TRUE(nv.Put("intervals", ToBytes("defg")).ok());  // replace
+  EXPECT_EQ(nv.used(), 4u);
+  nv.Erase("intervals");
+  EXPECT_EQ(nv.used(), 0u);
+  EXPECT_TRUE(nv.Get("intervals").status().IsNotFound());
+}
+
+TEST(NvramTest, CapacityEnforced) {
+  Nvram nv(10);
+  EXPECT_TRUE(nv.Put("a", Bytes(10, 0)).ok());
+  Status st = nv.Put("b", Bytes(1, 0));
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  // Replacing an existing region accounts for the freed bytes.
+  EXPECT_TRUE(nv.Put("a", Bytes(5, 0)).ok());
+  EXPECT_TRUE(nv.Put("b", Bytes(5, 0)).ok());
+}
+
+TEST(NvramQueueTest, FifoOrder) {
+  NvramQueue q(1024);
+  ASSERT_TRUE(q.Append(ToBytes("one")).ok());
+  ASSERT_TRUE(q.Append(ToBytes("two")).ok());
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(ToString(q.entries()[0]), "one");
+  q.PopFront(1);
+  EXPECT_EQ(ToString(q.entries()[0]), "two");
+  EXPECT_EQ(q.used_bytes(), 3u);
+}
+
+TEST(NvramQueueTest, CapacityEnforced) {
+  NvramQueue q(5);
+  EXPECT_TRUE(q.Append(Bytes(5, 0)).ok());
+  EXPECT_EQ(q.Append(Bytes(1, 0)).code(), StatusCode::kResourceExhausted);
+  q.PopFront(1);
+  EXPECT_TRUE(q.Append(Bytes(5, 0)).ok());
+}
+
+TEST(NvramQueueTest, PopMoreThanSizeIsSafe) {
+  NvramQueue q(100);
+  ASSERT_TRUE(q.Append(Bytes(10, 0)).ok());
+  q.PopFront(5);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.used_bytes(), 0u);
+}
+
+TEST(StableCellTest, ReadWrite) {
+  StableCell cell(7);
+  EXPECT_EQ(cell.Read(), 7u);
+  cell.Write(42);
+  EXPECT_EQ(cell.Read(), 42u);
+}
+
+}  // namespace
+}  // namespace dlog::storage

@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "harness/cluster.h"
+
+namespace dlog {
+namespace {
+
+using client::LogClient;
+using client::LogClientConfig;
+using harness::Cluster;
+using harness::ClusterConfig;
+
+/// Initializes a client synchronously; returns the final status.
+Status InitClient(Cluster& cluster, LogClient& log_client,
+                  sim::Duration timeout = 30 * sim::kSecond) {
+  Status result = Status::Internal("init never completed");
+  bool done = false;
+  log_client.Init([&](Status st) {
+    result = st;
+    done = true;
+  });
+  cluster.RunUntil([&]() { return done; }, timeout);
+  return result;
+}
+
+/// Writes a record and forces it; returns the LSN.
+Result<Lsn> WriteForced(Cluster& cluster, LogClient& log_client,
+                        const std::string& data) {
+  Result<Lsn> lsn = log_client.WriteLog(ToBytes(data));
+  if (!lsn.ok()) return lsn;
+  Status forced = Status::Internal("force never completed");
+  bool done = false;
+  log_client.ForceLog(*lsn, [&](Status st) {
+    forced = st;
+    done = true;
+  });
+  if (!cluster.RunUntil([&]() { return done; })) {
+    return Status::TimedOut("force did not complete");
+  }
+  if (!forced.ok()) return forced;
+  return lsn;
+}
+
+Result<Bytes> ReadSync(Cluster& cluster, LogClient& log_client, Lsn lsn) {
+  Result<Bytes> result = Status::Internal("read never completed");
+  bool done = false;
+  log_client.ReadLog(lsn, [&](Result<Bytes> r) {
+    result = std::move(r);
+    done = true;
+  });
+  cluster.RunUntil([&]() { return done; });
+  return result;
+}
+
+TEST(SystemTest, InitOnEmptyLog) {
+  Cluster cluster(ClusterConfig{});
+  auto c = cluster.MakeClient();
+  EXPECT_TRUE(InitClient(cluster, *c).ok());
+  EXPECT_TRUE(c->IsInitialized());
+  EXPECT_EQ(c->current_epoch(), 1u);
+  EXPECT_EQ(c->EndOfLog(), kNoLsn);
+}
+
+TEST(SystemTest, WriteForceRead) {
+  Cluster cluster(ClusterConfig{});
+  auto c = cluster.MakeClient();
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+
+  Result<Lsn> lsn1 = WriteForced(cluster, *c, "hello");
+  ASSERT_TRUE(lsn1.ok());
+  EXPECT_EQ(*lsn1, 1u);
+  Result<Lsn> lsn2 = WriteForced(cluster, *c, "world");
+  ASSERT_TRUE(lsn2.ok());
+  EXPECT_EQ(*lsn2, 2u);
+
+  EXPECT_EQ(*ReadSync(cluster, *c, 1), ToBytes("hello"));
+  EXPECT_EQ(*ReadSync(cluster, *c, 2), ToBytes("world"));
+  EXPECT_TRUE(ReadSync(cluster, *c, 3).status().IsOutOfRange());
+}
+
+TEST(SystemTest, RecordsLandOnExactlyNServers) {
+  ClusterConfig cfg;
+  cfg.num_servers = 5;
+  Cluster cluster(cfg);
+  auto c = cluster.MakeClient();
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(WriteForced(cluster, *c, "r" + std::to_string(i)).ok());
+  }
+  for (Lsn lsn = 1; lsn <= 10; ++lsn) {
+    int holders = 0;
+    for (int s = 1; s <= 5; ++s) {
+      for (const LogRecord& r : cluster.server(s).RecordsOf(1)) {
+        if (r.lsn == lsn && r.present) {
+          ++holders;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(holders, 2) << "LSN " << lsn;
+  }
+}
+
+TEST(SystemTest, GroupingPacksManyRecordsPerBatch) {
+  Cluster cluster(ClusterConfig{});
+  auto c = cluster.MakeClient();
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+
+  // Buffer 7 small records, force once: ET1-style grouping.
+  Lsn last = kNoLsn;
+  for (int i = 0; i < 7; ++i) {
+    Result<Lsn> lsn = c->WriteLog(ToBytes(std::string(100, 'x')));
+    ASSERT_TRUE(lsn.ok());
+    last = *lsn;
+  }
+  bool done = false;
+  c->ForceLog(last, [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return done; }));
+  // 7 records x 2 copies in two batches (one per server), not 14 RPCs.
+  EXPECT_EQ(c->records_sent().value(), 14u);
+  EXPECT_LE(c->batches_sent().value(), 4u);
+}
+
+TEST(SystemTest, BufferedWritesReachDiskViaGroupBuffer) {
+  ClusterConfig cfg;
+  cfg.server.flush_interval = 20 * sim::kMillisecond;
+  Cluster cluster(cfg);
+  auto c = cluster.MakeClient();
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(c->WriteLog(ToBytes(std::string(200, 'a' + (i % 26)))).ok());
+    if (i % 10 == 9) {
+      bool done = false;
+      c->ForceLog(c->EndOfLog(), [&](Status) { done = true; });
+      ASSERT_TRUE(cluster.RunUntil([&]() { return done; }));
+    }
+  }
+  cluster.sim().RunFor(sim::kSecond);
+  // Tracks were written on the write-set servers.
+  uint64_t tracks = 0, disk_writes = 0;
+  for (int s = 1; s <= 3; ++s) {
+    tracks += cluster.server(s).tracks_written().value();
+    disk_writes += cluster.server(s).disk().writes().value();
+  }
+  EXPECT_GT(tracks, 0u);
+  EXPECT_GT(disk_writes, 0u);
+}
+
+TEST(SystemTest, ServerCrashRestartPreservesAckedRecords) {
+  Cluster cluster(ClusterConfig{});
+  auto c = cluster.MakeClient();
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+  ASSERT_TRUE(WriteForced(cluster, *c, "durable").ok());
+
+  // Crash and restart every server: records must survive in NVRAM/disk.
+  for (int s = 1; s <= 3; ++s) cluster.server(s).Crash();
+  cluster.sim().RunFor(100 * sim::kMillisecond);
+  for (int s = 1; s <= 3; ++s) cluster.server(s).Restart();
+
+  // A fresh client (the old one's connections died) re-initializes and
+  // reads the record back.
+  auto c2 = cluster.MakeClient();
+  ASSERT_TRUE(InitClient(cluster, *c2).ok());
+  Result<Bytes> r = ReadSync(cluster, *c2, 1);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, ToBytes("durable"));
+}
+
+TEST(SystemTest, ClientRestartRecoversForcedRecords) {
+  Cluster cluster(ClusterConfig{});
+  LogClientConfig ccfg;
+  ccfg.client_id = 7;
+  auto c = cluster.MakeClient(ccfg);
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+  const Epoch first_epoch = c->current_epoch();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(WriteForced(cluster, *c, "rec" + std::to_string(i)).ok());
+  }
+  // Two unforced records die with the client.
+  ASSERT_TRUE(c->WriteLog(ToBytes("lost1")).ok());
+  ASSERT_TRUE(c->WriteLog(ToBytes("lost2")).ok());
+  c->Crash();
+
+  LogClientConfig ccfg2;
+  ccfg2.client_id = 7;
+  ccfg2.node_id = 2000;
+  auto c2 = cluster.MakeClient(ccfg2);
+  ASSERT_TRUE(InitClient(cluster, *c2).ok());
+  EXPECT_GT(c2->current_epoch(), first_epoch);
+  for (Lsn lsn = 1; lsn <= 5; ++lsn) {
+    Result<Bytes> r = ReadSync(cluster, *c2, lsn);
+    ASSERT_TRUE(r.ok()) << "lsn " << lsn << ": " << r.status().ToString();
+    EXPECT_EQ(*r, ToBytes("rec" + std::to_string(lsn - 1)));
+  }
+  // The unforced records are reported consistently: either recovered (if
+  // they reached servers before the crash) or not-present.
+  for (Lsn lsn = 6; lsn <= 7; ++lsn) {
+    Result<Bytes> first = ReadSync(cluster, *c2, lsn);
+    Result<Bytes> second = ReadSync(cluster, *c2, lsn);
+    EXPECT_EQ(first.ok(), second.ok());
+    if (first.ok()) {
+      EXPECT_EQ(*first, *second);
+    }
+  }
+  // New writes continue beyond the recovered end of log.
+  Result<Lsn> next = WriteForced(cluster, *c2, "after-restart");
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(*next, 7u);
+}
+
+TEST(SystemTest, ForceCompletesDespiteWriteSetServerDeath) {
+  ClusterConfig cfg;
+  cfg.num_servers = 4;
+  Cluster cluster(cfg);
+  LogClientConfig ccfg;
+  ccfg.force_timeout = 100 * sim::kMillisecond;
+  ccfg.force_retries = 2;
+  auto c = cluster.MakeClient(ccfg);
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+  ASSERT_TRUE(WriteForced(cluster, *c, "warmup").ok());
+
+  // Kill one write-set server (a holder of the warmup record).
+  int victim = 0;
+  for (int s = 1; s <= 4 && victim == 0; ++s) {
+    for (const LogRecord& r : cluster.server(s).RecordsOf(1)) {
+      if (r.lsn == 1 && r.present) {
+        victim = s;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(victim, 0);
+  cluster.server(victim).Crash();
+  Result<Lsn> lsn = c->WriteLog(ToBytes("survives"));
+  ASSERT_TRUE(lsn.ok());
+  bool done = false;
+  Status force_status = Status::Internal("never");
+  c->ForceLog(*lsn, [&](Status st) {
+    force_status = st;
+    done = true;
+  });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return done; }, 60 * sim::kSecond));
+  EXPECT_TRUE(force_status.ok());
+  EXPECT_GE(c->server_switches().value(), 1u);
+
+  // The record has two live holders among the surviving servers.
+  int holders = 0;
+  for (int s = 1; s <= 4; ++s) {
+    if (s == victim) continue;
+    for (const LogRecord& r : cluster.server(s).RecordsOf(1)) {
+      if (r.lsn == *lsn && r.present) {
+        ++holders;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(holders, 2);
+}
+
+TEST(SystemTest, LossyNetworkEndToEnd) {
+  ClusterConfig cfg;
+  cfg.network.loss_probability = 0.10;
+  cfg.network.duplicate_probability = 0.05;
+  Cluster cluster(cfg);
+  LogClientConfig ccfg;
+  ccfg.force_timeout = 100 * sim::kMillisecond;
+  auto c = cluster.MakeClient(ccfg);
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+
+  std::map<Lsn, std::string> written;
+  for (int i = 0; i < 50; ++i) {
+    const std::string data = "lossy" + std::to_string(i);
+    Result<Lsn> lsn = WriteForced(cluster, *c, data);
+    ASSERT_TRUE(lsn.ok()) << i << ": " << lsn.status().ToString();
+    written[*lsn] = data;
+  }
+  for (const auto& [lsn, data] : written) {
+    Result<Bytes> r = ReadSync(cluster, *c, lsn);
+    ASSERT_TRUE(r.ok()) << "lsn " << lsn;
+    EXPECT_EQ(*r, ToBytes(data));
+  }
+  // Loss and duplication actually happened.
+  EXPECT_GT(cluster.network().packets_lost().value(), 0u);
+}
+
+TEST(SystemTest, DualNetworkSurvivesOneNetworkOutage) {
+  ClusterConfig cfg;
+  cfg.num_networks = 2;
+  Cluster cluster(cfg);
+  LogClientConfig ccfg;
+  ccfg.force_timeout = 100 * sim::kMillisecond;
+  auto c = cluster.MakeClient(ccfg);
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+  ASSERT_TRUE(WriteForced(cluster, *c, "two nets").ok());
+  // Both networks carried traffic (round-robin).
+  EXPECT_GT(cluster.network(0).packets_sent().value(), 0u);
+  EXPECT_GT(cluster.network(1).packets_sent().value(), 0u);
+}
+
+TEST(SystemTest, IntervalListsStayShortUnderStickyWrites) {
+  ClusterConfig cfg;
+  cfg.num_servers = 5;
+  Cluster cluster(cfg);
+  auto c = cluster.MakeClient();
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c->WriteLog(ToBytes("x")).ok());
+    if (i % 20 == 19) {
+      bool done = false;
+      c->ForceLog(c->EndOfLog(), [&](Status) { done = true; });
+      ASSERT_TRUE(cluster.RunUntil([&]() { return done; }));
+    }
+  }
+  // Sticky server selection: each storing server holds one interval.
+  for (int s = 1; s <= 5; ++s) {
+    EXPECT_LE(cluster.server(s).IntervalsOf(1).size(), 1u);
+  }
+}
+
+TEST(SystemTest, EpochsRiseAcrossRestarts) {
+  Cluster cluster(ClusterConfig{});
+  Epoch last = 0;
+  for (int round = 0; round < 4; ++round) {
+    client::LogClientConfig ccfg;
+    ccfg.client_id = 3;
+    ccfg.node_id = 3000 + round;
+    auto c = cluster.MakeClient(ccfg);
+    ASSERT_TRUE(InitClient(cluster, *c).ok());
+    EXPECT_GT(c->current_epoch(), last);
+    last = c->current_epoch();
+    ASSERT_TRUE(WriteForced(cluster, *c, "r" + std::to_string(round)).ok());
+    c->Crash();
+  }
+}
+
+TEST(SystemTest, TwoClientsShareServersIndependently) {
+  Cluster cluster(ClusterConfig{});
+  client::LogClientConfig a_cfg;
+  a_cfg.client_id = 1;
+  client::LogClientConfig b_cfg;
+  b_cfg.client_id = 2;
+  b_cfg.node_id = 1500;
+  auto a = cluster.MakeClient(a_cfg);
+  auto b = cluster.MakeClient(b_cfg);
+  ASSERT_TRUE(InitClient(cluster, *a).ok());
+  ASSERT_TRUE(InitClient(cluster, *b).ok());
+
+  ASSERT_TRUE(WriteForced(cluster, *a, "from-a").ok());
+  ASSERT_TRUE(WriteForced(cluster, *b, "from-b").ok());
+  EXPECT_EQ(*ReadSync(cluster, *a, 1), ToBytes("from-a"));
+  EXPECT_EQ(*ReadSync(cluster, *b, 1), ToBytes("from-b"));
+}
+
+TEST(SystemTest, ReadsServedFromLocalBufferWithoutServerTrip) {
+  Cluster cluster(ClusterConfig{});
+  auto c = cluster.MakeClient();
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+  Result<Lsn> lsn = c->WriteLog(ToBytes("still local"));
+  ASSERT_TRUE(lsn.ok());
+  // Not forced yet: the record is in the client buffer.
+  Result<Bytes> r = ReadSync(cluster, *c, *lsn);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ToBytes("still local"));
+  EXPECT_EQ(cluster.server(1).read_rpcs().value() +
+                cluster.server(2).read_rpcs().value() +
+                cluster.server(3).read_rpcs().value(),
+            0u);
+}
+
+TEST(SystemTest, ServerForestIndexesDiskResidentRecords) {
+  ClusterConfig cfg;
+  cfg.server.flush_interval = 10 * sim::kMillisecond;
+  cfg.server.disk.track_bytes = 2048;  // small tracks: several flushes
+  Cluster cluster(cfg);
+  auto c = cluster.MakeClient();
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(WriteForced(cluster, *c, std::string(120, 'z')).ok());
+  }
+  cluster.sim().RunFor(sim::kSecond);
+  const forest::AppendForest* forest = cluster.server(1).ForestOf(1);
+  if (forest != nullptr && !forest->empty()) {
+    EXPECT_TRUE(forest->CheckInvariants().ok());
+    // The forest locates a disk-resident record's track.
+    Result<forest::AppendForest::Node> node = forest->Find(5);
+    if (node.ok()) {
+      EXPECT_TRUE(cluster.server(1).disk().IsWritten(node->value));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlog
