@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_append_forest.dir/bench_append_forest.cpp.o"
+  "CMakeFiles/bench_append_forest.dir/bench_append_forest.cpp.o.d"
+  "bench_append_forest"
+  "bench_append_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_append_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix1_idgen.dir/bench_appendix1_idgen.cpp.o"
+  "CMakeFiles/bench_appendix1_idgen.dir/bench_appendix1_idgen.cpp.o.d"
+  "bench_appendix1_idgen"
+  "bench_appendix1_idgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix1_idgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_appendix1_idgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_commit_ablation.dir/bench_group_commit_ablation.cpp.o"
+  "CMakeFiles/bench_group_commit_ablation.dir/bench_group_commit_ablation.cpp.o.d"
+  "bench_group_commit_ablation"
+  "bench_group_commit_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_commit_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

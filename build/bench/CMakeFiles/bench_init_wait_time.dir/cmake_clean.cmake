@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_init_wait_time.dir/bench_init_wait_time.cpp.o"
+  "CMakeFiles/bench_init_wait_time.dir/bench_init_wait_time.cpp.o.d"
+  "bench_init_wait_time"
+  "bench_init_wait_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_init_wait_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

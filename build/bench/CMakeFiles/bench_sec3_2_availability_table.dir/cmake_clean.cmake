@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_2_availability_table.dir/bench_sec3_2_availability_table.cpp.o"
+  "CMakeFiles/bench_sec3_2_availability_table.dir/bench_sec3_2_availability_table.cpp.o.d"
+  "bench_sec3_2_availability_table"
+  "bench_sec3_2_availability_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_2_availability_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_1_capacity.dir/bench_sec4_1_capacity.cpp.o"
+  "CMakeFiles/bench_sec4_1_capacity.dir/bench_sec4_1_capacity.cpp.o.d"
+  "bench_sec4_1_capacity"
+  "bench_sec4_1_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_1_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

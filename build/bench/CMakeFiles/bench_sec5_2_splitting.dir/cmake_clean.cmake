@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_2_splitting.dir/bench_sec5_2_splitting.cpp.o"
+  "CMakeFiles/bench_sec5_2_splitting.dir/bench_sec5_2_splitting.cpp.o.d"
+  "bench_sec5_2_splitting"
+  "bench_sec5_2_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_2_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

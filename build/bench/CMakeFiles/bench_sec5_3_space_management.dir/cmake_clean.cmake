@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_3_space_management.dir/bench_sec5_3_space_management.cpp.o"
+  "CMakeFiles/bench_sec5_3_space_management.dir/bench_sec5_3_space_management.cpp.o.d"
+  "bench_sec5_3_space_management"
+  "bench_sec5_3_space_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_3_space_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_4_load_assignment.dir/bench_sec5_4_load_assignment.cpp.o"
+  "CMakeFiles/bench_sec5_4_load_assignment.dir/bench_sec5_4_load_assignment.cpp.o.d"
+  "bench_sec5_4_load_assignment"
+  "bench_sec5_4_load_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_4_load_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_6_remote_vs_local.dir/bench_sec5_6_remote_vs_local.cpp.o"
+  "CMakeFiles/bench_sec5_6_remote_vs_local.dir/bench_sec5_6_remote_vs_local.cpp.o.d"
+  "bench_sec5_6_remote_vs_local"
+  "bench_sec5_6_remote_vs_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_6_remote_vs_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_explorer.dir/availability_explorer.cpp.o"
+  "CMakeFiles/availability_explorer.dir/availability_explorer.cpp.o.d"
+  "availability_explorer"
+  "availability_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

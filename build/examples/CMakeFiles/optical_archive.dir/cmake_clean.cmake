@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_archive.dir/optical_archive.cpp.o"
+  "CMakeFiles/optical_archive.dir/optical_archive.cpp.o.d"
+  "optical_archive"
+  "optical_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workstation_cluster.dir/workstation_cluster.cpp.o"
+  "CMakeFiles/workstation_cluster.dir/workstation_cluster.cpp.o.d"
+  "workstation_cluster"
+  "workstation_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workstation_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

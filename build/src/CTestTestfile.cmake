@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("storage")
+subdirs("wire")
+subdirs("forest")
+subdirs("epoch")
+subdirs("server")
+subdirs("client")
+subdirs("tp")
+subdirs("analysis")
+subdirs("baseline")
+subdirs("harness")

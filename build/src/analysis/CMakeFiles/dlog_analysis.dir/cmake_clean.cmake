@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_analysis.dir/availability.cc.o"
+  "CMakeFiles/dlog_analysis.dir/availability.cc.o.d"
+  "CMakeFiles/dlog_analysis.dir/capacity.cc.o"
+  "CMakeFiles/dlog_analysis.dir/capacity.cc.o.d"
+  "libdlog_analysis.a"
+  "libdlog_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_baseline.dir/duplexed_logger.cc.o"
+  "CMakeFiles/dlog_baseline.dir/duplexed_logger.cc.o.d"
+  "libdlog_baseline.a"
+  "libdlog_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_client.dir/log_client.cc.o"
+  "CMakeFiles/dlog_client.dir/log_client.cc.o.d"
+  "CMakeFiles/dlog_client.dir/replicated_log.cc.o"
+  "CMakeFiles/dlog_client.dir/replicated_log.cc.o.d"
+  "libdlog_client.a"
+  "libdlog_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_common.dir/crc32c.cc.o"
+  "CMakeFiles/dlog_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/dlog_common.dir/log_types.cc.o"
+  "CMakeFiles/dlog_common.dir/log_types.cc.o.d"
+  "CMakeFiles/dlog_common.dir/rng.cc.o"
+  "CMakeFiles/dlog_common.dir/rng.cc.o.d"
+  "CMakeFiles/dlog_common.dir/status.cc.o"
+  "CMakeFiles/dlog_common.dir/status.cc.o.d"
+  "libdlog_common.a"
+  "libdlog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlog_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_epoch.dir/id_generator.cc.o"
+  "CMakeFiles/dlog_epoch.dir/id_generator.cc.o.d"
+  "libdlog_epoch.a"
+  "libdlog_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

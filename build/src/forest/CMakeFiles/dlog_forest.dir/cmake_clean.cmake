@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_forest.dir/append_forest.cc.o"
+  "CMakeFiles/dlog_forest.dir/append_forest.cc.o.d"
+  "libdlog_forest.a"
+  "libdlog_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_harness.dir/cluster.cc.o"
+  "CMakeFiles/dlog_harness.dir/cluster.cc.o.d"
+  "CMakeFiles/dlog_harness.dir/et1_driver.cc.o"
+  "CMakeFiles/dlog_harness.dir/et1_driver.cc.o.d"
+  "libdlog_harness.a"
+  "libdlog_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_net.dir/network.cc.o"
+  "CMakeFiles/dlog_net.dir/network.cc.o.d"
+  "libdlog_net.a"
+  "libdlog_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

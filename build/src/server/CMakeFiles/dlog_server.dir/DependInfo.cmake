@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/client_log_store.cc" "src/server/CMakeFiles/dlog_server.dir/client_log_store.cc.o" "gcc" "src/server/CMakeFiles/dlog_server.dir/client_log_store.cc.o.d"
+  "/root/repo/src/server/log_server.cc" "src/server/CMakeFiles/dlog_server.dir/log_server.cc.o" "gcc" "src/server/CMakeFiles/dlog_server.dir/log_server.cc.o.d"
+  "/root/repo/src/server/track_format.cc" "src/server/CMakeFiles/dlog_server.dir/track_format.cc.o" "gcc" "src/server/CMakeFiles/dlog_server.dir/track_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dlog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dlog_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/dlog_forest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_server.dir/client_log_store.cc.o"
+  "CMakeFiles/dlog_server.dir/client_log_store.cc.o.d"
+  "CMakeFiles/dlog_server.dir/log_server.cc.o"
+  "CMakeFiles/dlog_server.dir/log_server.cc.o.d"
+  "CMakeFiles/dlog_server.dir/track_format.cc.o"
+  "CMakeFiles/dlog_server.dir/track_format.cc.o.d"
+  "libdlog_server.a"
+  "libdlog_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_sim.dir/cpu.cc.o"
+  "CMakeFiles/dlog_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/dlog_sim.dir/simulator.cc.o"
+  "CMakeFiles/dlog_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/dlog_sim.dir/stats.cc.o"
+  "CMakeFiles/dlog_sim.dir/stats.cc.o.d"
+  "libdlog_sim.a"
+  "libdlog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_storage.dir/disk.cc.o"
+  "CMakeFiles/dlog_storage.dir/disk.cc.o.d"
+  "CMakeFiles/dlog_storage.dir/nvram.cc.o"
+  "CMakeFiles/dlog_storage.dir/nvram.cc.o.d"
+  "libdlog_storage.a"
+  "libdlog_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_tp.dir/bank.cc.o"
+  "CMakeFiles/dlog_tp.dir/bank.cc.o.d"
+  "CMakeFiles/dlog_tp.dir/engine.cc.o"
+  "CMakeFiles/dlog_tp.dir/engine.cc.o.d"
+  "CMakeFiles/dlog_tp.dir/storage.cc.o"
+  "CMakeFiles/dlog_tp.dir/storage.cc.o.d"
+  "CMakeFiles/dlog_tp.dir/wal.cc.o"
+  "CMakeFiles/dlog_tp.dir/wal.cc.o.d"
+  "libdlog_tp.a"
+  "libdlog_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/connection.cc" "src/wire/CMakeFiles/dlog_wire.dir/connection.cc.o" "gcc" "src/wire/CMakeFiles/dlog_wire.dir/connection.cc.o.d"
+  "/root/repo/src/wire/messages.cc" "src/wire/CMakeFiles/dlog_wire.dir/messages.cc.o" "gcc" "src/wire/CMakeFiles/dlog_wire.dir/messages.cc.o.d"
+  "/root/repo/src/wire/rpc.cc" "src/wire/CMakeFiles/dlog_wire.dir/rpc.cc.o" "gcc" "src/wire/CMakeFiles/dlog_wire.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlog_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

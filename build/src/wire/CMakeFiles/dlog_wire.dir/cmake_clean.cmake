@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_wire.dir/connection.cc.o"
+  "CMakeFiles/dlog_wire.dir/connection.cc.o.d"
+  "CMakeFiles/dlog_wire.dir/messages.cc.o"
+  "CMakeFiles/dlog_wire.dir/messages.cc.o.d"
+  "CMakeFiles/dlog_wire.dir/rpc.cc.o"
+  "CMakeFiles/dlog_wire.dir/rpc.cc.o.d"
+  "libdlog_wire.a"
+  "libdlog_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

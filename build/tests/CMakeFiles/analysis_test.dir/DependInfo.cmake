@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dlog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dlog_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/dlog_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/epoch/CMakeFiles/dlog_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dlog_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/dlog_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dlog_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/dlog_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tp/CMakeFiles/dlog_tp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dlog_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

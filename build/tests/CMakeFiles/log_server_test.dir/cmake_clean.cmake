@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_server_test.dir/log_server_test.cc.o"
+  "CMakeFiles/log_server_test.dir/log_server_test.cc.o.d"
+  "log_server_test"
+  "log_server_test.pdb"
+  "log_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

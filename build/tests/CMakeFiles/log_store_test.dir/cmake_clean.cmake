@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_store_test.dir/log_store_test.cc.o"
+  "CMakeFiles/log_store_test.dir/log_store_test.cc.o.d"
+  "log_store_test"
+  "log_store_test.pdb"
+  "log_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

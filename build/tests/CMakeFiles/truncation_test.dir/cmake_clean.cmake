@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truncation_test.dir/truncation_test.cc.o"
+  "CMakeFiles/truncation_test.dir/truncation_test.cc.o.d"
+  "truncation_test"
+  "truncation_test.pdb"
+  "truncation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truncation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

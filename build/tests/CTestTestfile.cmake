@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/forest_test[1]_include.cmake")
+include("/root/repo/build/tests/epoch_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/log_store_test[1]_include.cmake")
+include("/root/repo/build/tests/replicated_log_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/log_server_test[1]_include.cmake")
+include("/root/repo/build/tests/tp_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/system_property_test[1]_include.cmake")
+include("/root/repo/build/tests/multicast_test[1]_include.cmake")
+include("/root/repo/build/tests/truncation_test[1]_include.cmake")
+include("/root/repo/build/tests/log_client_test[1]_include.cmake")
+include("/root/repo/build/tests/repair_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_property_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
