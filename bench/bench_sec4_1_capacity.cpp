@@ -14,6 +14,7 @@
 #include "analysis/capacity.h"
 #include "harness/cluster.h"
 #include "harness/et1_driver.h"
+#include "obs/bench_report.h"
 
 namespace {
 
@@ -102,9 +103,33 @@ RunResult RunSimulation(int clients, int servers, int seconds,
   return r;
 }
 
+/// One BENCH_E4.json row: the run's configuration plus every measured
+/// output of RunResult.
+void ReportRun(obs::BenchReport* report, const char* label, int clients,
+               int servers, size_t mtu_payload, bool multicast,
+               const RunResult& r) {
+  report->BeginRow();
+  report->SetConfig("design", label);
+  report->SetConfig("clients", clients);
+  report->SetConfig("servers", servers);
+  report->SetConfig("mtu_payload", static_cast<double>(mtu_payload));
+  report->SetConfig("multicast", multicast ? 1.0 : 0.0);
+  report->SetMetric("tps", r.tps);
+  report->SetMetric("forces_per_server_per_sec", r.forces_per_server);
+  report->SetMetric("network_mbits_per_sec", r.mbits_per_sec);
+  report->SetMetric("server_cpu_util", r.cpu_util);
+  report->SetMetric("server_disk_util", r.disk_util);
+  report->SetMetric("log_bytes_per_server_per_sec",
+                    r.bytes_per_server_per_sec);
+  report->SetMetric("txn_p50_ms", r.txn_p50_ms);
+  report->SetMetric("txn_p95_ms", r.txn_p95_ms);
+}
+
 }  // namespace
 
 int main() {
+  obs::BenchReport report("E4");
+
   // --- The paper's analytic model ---
   analysis::CapacityInputs in;
   analysis::CapacityOutputs out = analysis::ComputeCapacity(in);
@@ -118,6 +143,8 @@ int main() {
       clients, servers, seconds);
   RunResult grouped = RunSimulation(clients, servers, seconds,
                                     /*mtu_payload=*/1400);
+  ReportRun(&report, "grouped_unicast", clients, servers, 1400, false,
+            grouped);
   std::printf("  committed rate ............... %7.1f TPS   (target 500)\n",
               grouped.tps);
   std::printf(
@@ -141,6 +168,8 @@ int main() {
   //     would be approximately halved"). ---
   RunResult mcast = RunSimulation(clients, servers, seconds, 1400,
                                   /*multicast=*/true);
+  ReportRun(&report, "grouped_multicast", clients, servers, 1400, true,
+            mcast);
   std::printf(
       "\nWith multicast record streams:\n"
       "  network load (both LANs) ..... %7.2f Mbit/s (unicast was %.2f; "
@@ -154,6 +183,10 @@ int main() {
       "\nGrouping ablation (one record per packet, 10 clients scaled):\n");
   RunResult grouped_small = RunSimulation(10, servers, seconds, 1400);
   RunResult ungrouped = RunSimulation(10, servers, seconds, 200);
+  ReportRun(&report, "grouped_10_clients", 10, servers, 1400, false,
+            grouped_small);
+  ReportRun(&report, "ungrouped_10_clients", 10, servers, 200, false,
+            ungrouped);
   std::printf("  grouped:   %6.1f TPS, p95 force-path latency %.2f ms\n",
               grouped_small.tps, grouped_small.txn_p95_ms);
   std::printf("  ungrouped: %6.1f TPS, p95 force-path latency %.2f ms\n",
@@ -161,5 +194,13 @@ int main() {
   std::printf(
       "  (paper: grouping cuts per-record messages by ~7x; unbatched "
       "would be ~2400 msgs/s/server)\n");
+
+  Status st = report.WriteJson("BENCH_E4.json");
+  if (!st.ok()) {
+    std::printf("failed to write BENCH_E4.json: %s\n",
+                st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_E4.json (%zu rows)\n", report.rows());
   return 0;
 }

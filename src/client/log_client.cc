@@ -74,6 +74,32 @@ void LogClient::AttachNetwork(net::Network* network) {
   nics_.push_back(std::move(nic));
 }
 
+void LogClient::SetTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  trace_node_ = "client-" + std::to_string(config_.client_id);
+}
+
+void LogClient::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  const std::string prefix =
+      "client-" + std::to_string(config_.client_id) + "/log/";
+  registry->RegisterHistogram(prefix + "force_latency_ms",
+                              &force_latency_ms_);
+  registry->RegisterCounter(prefix + "records_sent", &records_sent_);
+  registry->RegisterCounter(prefix + "batches_sent", &batches_sent_);
+  registry->RegisterCounter(prefix + "forces_completed",
+                            &forces_completed_);
+  registry->RegisterCounter(prefix + "server_switches", &server_switches_);
+  registry->RegisterCounter(prefix + "resends", &resends_);
+}
+
+obs::SpanContext LogClient::ForceContext() const {
+  for (auto it = force_waiters_.rbegin(); it != force_waiters_.rend();
+       ++it) {
+    if (it->span.valid()) return it->span;
+  }
+  return {};
+}
+
 wire::RpcClient::CallOptions LogClient::RpcOpts() const {
   wire::RpcClient::CallOptions opts;
   opts.timeout = config_.rpc_timeout;
@@ -167,6 +193,11 @@ Result<Lsn> LogClient::WriteLog(Bytes data) {
   pr.record.present = true;
   pr.record.data = std::move(data);
   bytes_buffered_ += pr.record.data.size();
+  if (tracer_ != nullptr) {
+    pr.group_span =
+        tracer_->StartSpan("wal.group", trace_node_, tracer_->Current());
+    tracer_->AddArg(pr.group_span, "lsn", next_lsn_);
+  }
   pending_[next_lsn_] = std::move(pr);
   const Lsn lsn = next_lsn_++;
   PumpSends();
@@ -184,7 +215,12 @@ void LogClient::ForceLog(Lsn upto, std::function<void(Status)> done) {
     if (lsn > upto) break;
     pr.forced = true;
   }
-  ForceWaiter waiter{upto, std::move(done), sim_->Now()};
+  ForceWaiter waiter{upto, std::move(done), sim_->Now(), {}};
+  if (tracer_ != nullptr) {
+    waiter.span =
+        tracer_->StartSpan("ForceLog", trace_node_, tracer_->Current());
+    tracer_->AddArg(waiter.span, "upto", upto);
+  }
   force_waiters_.push_back(std::move(waiter));
   PumpSends();
   ArmRetryTimer();
@@ -336,9 +372,14 @@ void LogClient::StreamMulticast() {
     wire::RecordBatch msg;
     msg.client = config_.client_id;
     msg.epoch = epoch_;
+    obs::SpanContext send_parent;
     for (auto it : batch) {
       PendingRecord& pr = it->second;
-      if (pr.first_sent == 0) pr.first_sent = sim_->Now();
+      if (pr.first_sent == 0) {
+        pr.first_sent = sim_->Now();
+        if (tracer_ != nullptr) tracer_->EndSpan(pr.group_span);
+      }
+      if (!send_parent.valid()) send_parent = pr.group_span;
       for (ServerLink* link : ws) {
         pr.sent_to.insert(link->node);
         link->sent_high = std::max(link->sent_high, it->first);
@@ -351,6 +392,17 @@ void LogClient::StreamMulticast() {
                                        ? wire::MessageType::kForceLog
                                        : wire::MessageType::kWriteLog;
     if (batch_forced) sent_forced_batch = true;
+    if (tracer_ != nullptr) {
+      if (batch_forced && ForceContext().valid()) {
+        send_parent = ForceContext();
+      }
+      obs::SpanContext send =
+          tracer_->StartSpan("wire.send", trace_node_, send_parent);
+      tracer_->AddArg(send, "group", Group());
+      tracer_->AddArg(send, "records", msg.records.size());
+      msg.trace = send.trace;
+      msg.span = send.span;
+    }
     endpoint_->SendDatagram(Group(), wire::EncodeRecordBatch(type, msg));
     batches_sent_.Increment();
     batch_bytes = wire::RecordBatchOverhead();
@@ -391,6 +443,13 @@ void LogClient::StreamMulticast() {
       wire::RecordBatch ping;
       ping.client = config_.client_id;
       ping.epoch = epoch_;
+      if (tracer_ != nullptr) {
+        obs::SpanContext send =
+            tracer_->StartSpan("wire.send", trace_node_, ForceContext());
+        tracer_->AddArg(send, "server", link->node);
+        ping.trace = send.trace;
+        ping.span = send.span;
+      }
       link->conn->Send(
           wire::EncodeRecordBatch(wire::MessageType::kForceLog, ping));
     }
@@ -420,9 +479,14 @@ void LogClient::StreamTo(ServerLink* link) {
     wire::RecordBatch msg;
     msg.client = config_.client_id;
     msg.epoch = epoch_;
+    obs::SpanContext send_parent;
     for (auto it : batch) {
       PendingRecord& pr = it->second;
-      if (pr.first_sent == 0) pr.first_sent = sim_->Now();
+      if (pr.first_sent == 0) {
+        pr.first_sent = sim_->Now();
+        if (tracer_ != nullptr) tracer_->EndSpan(pr.group_span);
+      }
+      if (!send_parent.valid()) send_parent = pr.group_span;
       pr.sent_to.insert(link->node);
       link->sent_high = std::max(link->sent_high, it->first);
       msg.records.push_back(pr.record);
@@ -433,6 +497,17 @@ void LogClient::StreamTo(ServerLink* link) {
                                        ? wire::MessageType::kForceLog
                                        : wire::MessageType::kWriteLog;
     if (batch_forced) sent_forced_batch = true;
+    if (tracer_ != nullptr) {
+      if (batch_forced && ForceContext().valid()) {
+        send_parent = ForceContext();
+      }
+      obs::SpanContext send =
+          tracer_->StartSpan("wire.send", trace_node_, send_parent);
+      tracer_->AddArg(send, "server", link->node);
+      tracer_->AddArg(send, "records", msg.records.size());
+      msg.trace = send.trace;
+      msg.span = send.span;
+    }
     link->conn->Send(wire::EncodeRecordBatch(type, msg));
     batches_sent_.Increment();
     batch_bytes = wire::RecordBatchOverhead();
@@ -479,6 +554,13 @@ void LogClient::StreamTo(ServerLink* link) {
     wire::RecordBatch ping;
     ping.client = config_.client_id;
     ping.epoch = epoch_;
+    if (tracer_ != nullptr) {
+      obs::SpanContext send =
+          tracer_->StartSpan("wire.send", trace_node_, ForceContext());
+      tracer_->AddArg(send, "server", link->node);
+      ping.trace = send.trace;
+      ping.span = send.span;
+    }
     link->conn->Send(
         wire::EncodeRecordBatch(wire::MessageType::kForceLog, ping));
   }
@@ -523,6 +605,7 @@ void LogClient::CheckForceCompletion() {
     force_latency_ms_.Add(sim::DurationToSeconds(sim_->Now() - w.started) *
                           1e3);
     forces_completed_.Increment();
+    if (tracer_ != nullptr) tracer_->EndSpan(w.span);
     auto done = std::move(w.done);
     force_waiters_.pop_front();
     done(Status::OK());
@@ -562,6 +645,14 @@ void LogClient::OnMissingInterval(ServerLink* link, Lsn low, Lsn high) {
     batch.records.push_back(it->second.record);
   }
   resends_.Increment();
+  if (tracer_ != nullptr) {
+    obs::SpanContext send =
+        tracer_->StartSpan("wire.send", trace_node_, ForceContext());
+    tracer_->AddArg(send, "server", link->node);
+    tracer_->AddArg(send, "records", batch.records.size());
+    batch.trace = send.trace;
+    batch.span = send.span;
+  }
   link->conn->Send(
       wire::EncodeRecordBatch(wire::MessageType::kForceLog, batch));
 }
@@ -622,6 +713,14 @@ void LogClient::OnRetryTimer() {
       bytes += cost;
     }
     resends_.Increment();
+    if (tracer_ != nullptr) {
+      obs::SpanContext send =
+          tracer_->StartSpan("wire.send", trace_node_, ForceContext());
+      tracer_->AddArg(send, "server", link->node);
+      tracer_->AddArg(send, "records", batch.records.size());
+      batch.trace = send.trace;
+      batch.span = send.span;
+    }
     link->conn->Send(
         wire::EncodeRecordBatch(wire::MessageType::kForceLog, batch));
   }

@@ -16,6 +16,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -144,6 +146,16 @@ class LogClient {
 
   ClientId client_id() const { return config_.client_id; }
 
+  // --- Observability ---
+  /// Attaches the shared causal tracer. Records opened while a context is
+  /// current (see obs::Tracer::Scope) get "wal.group" spans; sends get
+  /// "wire.send" spans whose ids travel inside the RecordBatch so the
+  /// receiving server can close them.
+  void SetTracer(obs::Tracer* tracer);
+  /// Registers this client's counters/histograms under
+  /// "client-<id>/log/...".
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
+
   // --- Statistics ---
   sim::Histogram& force_latency_ms() { return force_latency_ms_; }
   sim::Counter& records_sent() { return records_sent_; }
@@ -178,12 +190,16 @@ class LogClient {
     std::set<net::NodeId> acked_by;
     sim::Time first_sent = 0;
     bool forced = false;
+    /// "wal.group" span: client-buffer residency, WriteLog to first send.
+    obs::SpanContext group_span;
   };
 
   struct ForceWaiter {
     Lsn upto;
     std::function<void(Status)> done;
     sim::Time started;
+    /// "ForceLog" span: force request to last acknowledgment.
+    obs::SpanContext span;
   };
 
   // --- transport plumbing ---
@@ -217,6 +233,9 @@ class LogClient {
   void OnRetryTimer();
   void SwitchAwayFrom(ServerLink* link);
   size_t UnackedSentRecords() const;
+  /// The span of the most recent outstanding force (for parenting sends
+  /// that carry no fresh records).
+  obs::SpanContext ForceContext() const;
 
   // --- init machinery ---
   struct InitState;
@@ -254,6 +273,9 @@ class LogClient {
   sim::EventId retry_timer_ = 0;
   /// Small cache of records brought back by ReadLogForward packing.
   std::map<Lsn, LogRecord> read_cache_;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::string trace_node_;
 
   sim::Histogram force_latency_ms_;
   sim::Counter records_sent_;

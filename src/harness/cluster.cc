@@ -2,7 +2,9 @@
 
 namespace dlog::harness {
 
-Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), tracer_(&sim_) {
+  tracer_.set_enabled(config.tracing);
   for (int i = 0; i < config.num_networks; ++i) {
     net::NetworkConfig net_cfg = config.network;
     net_cfg.seed = config.seed * 1000 + i;
@@ -13,6 +15,8 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     server_cfg.node_id = static_cast<net::NodeId>(i + 1);
     auto server = std::make_unique<server::LogServer>(&sim_, server_cfg);
     for (auto& network : networks_) server->AttachNetwork(network.get());
+    server->SetTracer(&tracer_);
+    server->RegisterMetrics(&metrics_);
     servers_.push_back(std::move(server));
   }
 }
@@ -34,6 +38,8 @@ std::unique_ptr<client::LogClient> Cluster::MakeClient(
   ++next_client_node_;
   auto log_client = std::make_unique<client::LogClient>(&sim_, config);
   for (auto& network : networks_) log_client->AttachNetwork(network.get());
+  log_client->SetTracer(&tracer_);
+  log_client->RegisterMetrics(&metrics_);
   return log_client;
 }
 

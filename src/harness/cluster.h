@@ -6,6 +6,8 @@
 
 #include "client/log_client.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/log_server.h"
 #include "sim/simulator.h"
 
@@ -20,6 +22,11 @@ struct ClusterConfig {
   net::NetworkConfig network;
   /// Template applied to every server (node_id is overwritten).
   server::LogServerConfig server;
+  /// When true the cluster-wide tracer records causal spans (txn →
+  /// wal.group → wire.send → nvram.buffer/track.write/force.ack) for
+  /// every traced operation; export with obs::ChromeTraceJson. Off by
+  /// default: bulk experiments should not accumulate span memory.
+  bool tracing = false;
   uint64_t seed = 1;
 };
 
@@ -36,6 +43,14 @@ class Cluster {
   sim::Simulator& sim() { return sim_; }
   net::Network& network(int i = 0) { return *networks_[i]; }
   int num_networks() const { return static_cast<int>(networks_.size()); }
+
+  /// The cluster-wide causal tracer (recording only when
+  /// ClusterConfig::tracing is set) and the unified metrics registry.
+  /// Every server registers its metrics here at construction; clients
+  /// made by MakeClient register theirs too and must either outlive any
+  /// snapshotting or be removed with metrics().UnregisterPrefix.
+  obs::Tracer& tracer() { return tracer_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   /// 1-based server access matching the paper's figures.
   server::LogServer& server(int id) { return *servers_[id - 1]; }
@@ -56,6 +71,9 @@ class Cluster {
  private:
   sim::Simulator sim_;
   ClusterConfig config_;
+  /// Declared before the nodes that hold pointers into them.
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<net::Network>> networks_;
   std::vector<std::unique_ptr<server::LogServer>> servers_;
   net::NodeId next_client_node_ = 1000;

@@ -1,5 +1,7 @@
 #include "harness/et1_driver.h"
 
+#include <string>
+
 namespace dlog::harness {
 
 Et1Driver::Et1Driver(Cluster* cluster, client::LogClientConfig log_config,
@@ -11,9 +13,21 @@ Et1Driver::Et1Driver(Cluster* cluster, client::LogClientConfig log_config,
   engine_ = std::make_unique<tp::TransactionEngine>(
       &cluster->sim(), logger_.get(), page_disk_.get(), config.engine);
   bank_ = std::make_unique<tp::BankDb>(engine_.get(), config.bank);
+  // Same node name as the LogClient so the engine's "txn" roots and the
+  // client's "wal.group"/"ForceLog" spans share a timeline row.
+  trace_node_ = "client-" + std::to_string(log_->client_id());
+  engine_->SetTracer(&cluster->tracer(), trace_node_);
+  engine_->RegisterMetrics(&cluster->metrics(), trace_node_);
+  cluster->metrics().RegisterHistogram(
+      trace_node_ + "/driver/txn_latency_ms", &txn_latency_ms_);
 }
 
-Et1Driver::~Et1Driver() { stopped_ = true; }
+Et1Driver::~Et1Driver() {
+  stopped_ = true;
+  // The registry outlives this driver; drop its pointers into the engine,
+  // client, and histogram before they die.
+  cluster_->metrics().UnregisterPrefix(trace_node_ + "/");
+}
 
 void Et1Driver::Start() {
   log_->Init([this](Status st) {

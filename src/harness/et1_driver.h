@@ -2,6 +2,7 @@
 #define DLOG_HARNESS_ET1_DRIVER_H_
 
 #include <memory>
+#include <string>
 
 #include "common/rng.h"
 #include "harness/cluster.h"
@@ -56,6 +57,8 @@ class Et1Driver {
 
   Cluster* cluster_;
   Et1DriverConfig config_;
+  /// "client-<id>": names this node in traces and metric paths.
+  std::string trace_node_;
   Rng rng_;
   std::unique_ptr<client::LogClient> log_;
   std::unique_ptr<tp::ReplicatedTxnLogger> logger_;

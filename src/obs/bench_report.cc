@@ -1,0 +1,104 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace dlog::obs {
+namespace {
+
+/// %.6g never emits JSON-invalid text for finite doubles and is stable
+/// across platforms for the value ranges we report.
+void AppendNumber(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  *out += buf;
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+void BenchReport::BeginRow() { rows_.emplace_back(); }
+
+void BenchReport::SetConfig(const std::string& key, double value) {
+  if (rows_.empty()) BeginRow();
+  rows_.back().config_num[key] = value;
+}
+
+void BenchReport::SetConfig(const std::string& key, const std::string& value) {
+  if (rows_.empty()) BeginRow();
+  rows_.back().config_text[key] = value;
+}
+
+void BenchReport::SetMetric(const std::string& key, double value) {
+  if (rows_.empty()) BeginRow();
+  rows_.back().metrics[key] = value;
+}
+
+void BenchReport::AddSnapshot(const std::string& prefix,
+                              const MetricsSnapshot& snap) {
+  for (const auto& [name, value] : snap.values) {
+    SetMetric(prefix + name, value);
+  }
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\"experiment\":";
+  AppendString(&out, experiment_);
+  out += ",\"rows\":[";
+  bool first_row = true;
+  for (const Row& row : rows_) {
+    if (!first_row) out += ",";
+    first_row = false;
+    out += "{\"config\":{";
+    bool first = true;
+    // Text and numeric config keys merged in one sorted object; the two
+    // maps are disjoint by convention (a key is either a label or a knob).
+    auto text_it = row.config_text.begin();
+    auto num_it = row.config_num.begin();
+    while (text_it != row.config_text.end() || num_it != row.config_num.end()) {
+      const bool take_text =
+          num_it == row.config_num.end() ||
+          (text_it != row.config_text.end() && text_it->first < num_it->first);
+      if (!first) out += ",";
+      first = false;
+      if (take_text) {
+        AppendString(&out, text_it->first);
+        out += ":";
+        AppendString(&out, text_it->second);
+        ++text_it;
+      } else {
+        AppendString(&out, num_it->first);
+        out += ":";
+        AppendNumber(&out, num_it->second);
+        ++num_it;
+      }
+    }
+    out += "},\"metrics\":{";
+    first = true;
+    for (const auto& [key, value] : row.metrics) {
+      if (!first) out += ",";
+      first = false;
+      AppendString(&out, key);
+      out += ":";
+      AppendNumber(&out, value);
+    }
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status BenchReport::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson());
+}
+
+}  // namespace dlog::obs

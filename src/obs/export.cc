@@ -1,0 +1,125 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+namespace dlog::obs {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+/// Microsecond timestamps with three decimals keep the full nanosecond
+/// resolution of the simulator while matching the trace-event convention
+/// (ts/dur are in microseconds).
+void AppendMicros(std::string* out, sim::Time t) {
+  AppendF(out, "%" PRIu64 ".%03u", t / 1000,
+          static_cast<unsigned>(t % 1000));
+}
+
+/// Span names/nodes contain no JSON-special characters by construction,
+/// but escape defensively so a future name cannot corrupt the export.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  // Stable node -> tid assignment in first-appearance order.
+  std::map<std::string, int> tids;
+  std::string events;
+  for (const Span& span : tracer.spans()) {
+    tids.try_emplace(span.node, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [node, tid] : tids) {
+    if (!first) out += ",";
+    first = false;
+    AppendF(&out,
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"%s\"}}",
+            tid, JsonEscape(node).c_str());
+  }
+  for (const Span& span : tracer.spans()) {
+    const sim::Time end = span.open ? span.start : span.end;
+    if (!first) out += ",";
+    first = false;
+    AppendF(&out, "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\"ts\":",
+            tids[span.node], JsonEscape(span.name).c_str());
+    AppendMicros(&out, span.start);
+    out += ",\"dur\":";
+    AppendMicros(&out, end - span.start);
+    AppendF(&out,
+            ",\"cat\":\"dlog\",\"args\":{\"trace\":%" PRIu64
+            ",\"span\":%" PRIu64 ",\"parent\":%" PRIu64,
+            span.trace, span.id, span.parent);
+    if (span.open) out += ",\"open\":1";
+    for (const auto& [key, value] : span.args) {
+      AppendF(&out, ",\"%s\":%" PRIu64, JsonEscape(key).c_str(), value);
+    }
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string TextTimeline(const Tracer& tracer) {
+  std::string out;
+  for (const Span& span : tracer.spans()) {
+    const sim::Time end = span.open ? span.start : span.end;
+    out += "[";
+    AppendMicros(&out, span.start);
+    out += "..";
+    AppendMicros(&out, end);
+    AppendF(&out, "] %s %s trace=%" PRIu64 " span=%" PRIu64, span.node.c_str(),
+            span.name.c_str(), span.trace, span.id);
+    if (span.parent != kNoSpan) AppendF(&out, " parent=%" PRIu64, span.parent);
+    if (span.open) out += " open";
+    for (const auto& [key, value] : span.args) {
+      AppendF(&out, " %s=%" PRIu64, key.c_str(), value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Unavailable("cannot open " + path);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dlog::obs

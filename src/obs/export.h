@@ -1,0 +1,30 @@
+#ifndef DLOG_OBS_EXPORT_H_
+#define DLOG_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace dlog::obs {
+
+/// Renders the recorded span stream as Chrome trace-event JSON
+/// (load in chrome://tracing or https://ui.perfetto.dev). Each simulated
+/// node becomes a named thread; spans are complete ("X") events with
+/// trace/span/parent ids in args. The output is a pure function of the
+/// span stream, so a (config, seed) pair exports byte-identical JSON.
+/// Spans still open at export time are emitted with zero duration and
+/// "open":1 (e.g. a wire.send whose packet the network dropped).
+std::string ChromeTraceJson(const Tracer& tracer);
+
+/// A compact fixed-point text rendering for tests and terminal diffing:
+/// one line per span, in creation order:
+///   [start_us..end_us] node name trace=T span=S parent=P k=v ...
+std::string TextTimeline(const Tracer& tracer);
+
+/// Writes `content` to `path` (0644), overwriting.
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace dlog::obs
+
+#endif  // DLOG_OBS_EXPORT_H_

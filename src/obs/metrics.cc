@@ -1,0 +1,126 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dlog::obs {
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  out.at = at;
+  for (const auto& [name, value] : values) {
+    out.values[name] = value - earlier.Get(name);
+  }
+  for (const auto& [name, value] : earlier.values) {
+    if (values.find(name) == values.end()) out.values[name] = -value;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, value] : values) {
+    std::snprintf(buf, sizeof(buf), " %.6g\n", value);
+    out += name;
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+// Erases [prefix...] keys from one typed map.
+template <typename Map>
+void ErasePrefix(Map* map, const std::string& prefix) {
+  for (auto it = map->lower_bound(prefix); it != map->end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = map->erase(it);
+  }
+}
+
+// A name may move between metric kinds on re-registration; drop it from
+// every map first.
+template <typename Map>
+void EraseName(Map* map, const std::string& name) {
+  map->erase(name);
+}
+
+}  // namespace
+
+void MetricsRegistry::RegisterCounter(const std::string& name,
+                                      const sim::Counter* c) {
+  EraseName(&gauges_, name);
+  EraseName(&tw_gauges_, name);
+  EraseName(&histograms_, name);
+  counters_[name] = c;
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    const sim::Gauge* g) {
+  EraseName(&counters_, name);
+  EraseName(&tw_gauges_, name);
+  EraseName(&histograms_, name);
+  gauges_[name] = g;
+}
+
+void MetricsRegistry::RegisterTimeWeightedGauge(
+    const std::string& name, const sim::TimeWeightedGauge* g) {
+  EraseName(&counters_, name);
+  EraseName(&gauges_, name);
+  EraseName(&histograms_, name);
+  tw_gauges_[name] = g;
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name,
+                                        const sim::Histogram* h) {
+  EraseName(&counters_, name);
+  EraseName(&gauges_, name);
+  EraseName(&tw_gauges_, name);
+  histograms_[name] = h;
+}
+
+void MetricsRegistry::UnregisterPrefix(const std::string& prefix) {
+  ErasePrefix(&counters_, prefix);
+  ErasePrefix(&gauges_, prefix);
+  ErasePrefix(&tw_gauges_, prefix);
+  ErasePrefix(&histograms_, prefix);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(sim::Time now) const {
+  MetricsSnapshot snap;
+  snap.at = now;
+  for (const auto& [name, c] : counters_) {
+    snap.values[name] = static_cast<double>(c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.values[name] = static_cast<double>(g->value());
+    snap.values[name + "/max"] = static_cast<double>(g->max());
+  }
+  for (const auto& [name, g] : tw_gauges_) {
+    snap.values[name] = g->value();
+    snap.values[name + "/avg"] = g->Average(now);
+    snap.values[name + "/max"] = g->max();
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.values[name + "/count"] = static_cast<double>(h->count());
+    snap.values[name + "/mean"] = h->Mean();
+    snap.values[name + "/p50"] = h->Percentile(0.5);
+    snap.values[name + "/p95"] = h->Percentile(0.95);
+    snap.values[name + "/max"] = h->Max();
+  }
+  return snap;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  for (const auto& [name, g] : gauges_) names.push_back(name);
+  for (const auto& [name, g] : tw_gauges_) names.push_back(name);
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace dlog::obs

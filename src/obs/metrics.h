@@ -1,0 +1,82 @@
+#ifndef DLOG_OBS_METRICS_H_
+#define DLOG_OBS_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace dlog::obs {
+
+/// A point-in-time reading of every registered metric, flattened to
+/// `name -> double` (histograms contribute `name/count`, `/mean`, `/p50`,
+/// `/p95`, `/max` sub-keys). Snapshots are value types: diff two of them
+/// to get per-interval rates.
+struct MetricsSnapshot {
+  sim::Time at = 0;
+  std::map<std::string, double> values;
+
+  /// this - earlier, per key (keys only in one side pass through
+  /// unchanged / negated respectively).
+  MetricsSnapshot Diff(const MetricsSnapshot& earlier) const;
+
+  double Get(const std::string& name, double fallback = 0.0) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+
+  /// "name value" lines, sorted by name (deterministic).
+  std::string ToText() const;
+};
+
+/// One registry per experiment run, holding *references* to the metrics
+/// that live inside components, under hierarchical `node/component/name`
+/// keys (e.g. "server-2/log/records_written"). Components keep their
+/// counters as members (hot-path increments stay a plain add); the
+/// registry provides the unified cross-layer view: enumeration,
+/// snapshotting, and diffing between simulated timestamps.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registration. Names must be unique; re-registering a name replaces
+  /// the old entry (a restarted component re-registers its counters).
+  /// The registry does not own the metric: the component must outlive it
+  /// or call Unregister* first.
+  void RegisterCounter(const std::string& name, const sim::Counter* c);
+  void RegisterGauge(const std::string& name, const sim::Gauge* g);
+  void RegisterTimeWeightedGauge(const std::string& name,
+                                 const sim::TimeWeightedGauge* g);
+  void RegisterHistogram(const std::string& name, const sim::Histogram* h);
+
+  /// Drops every metric whose name starts with `prefix` (component
+  /// teardown).
+  void UnregisterPrefix(const std::string& prefix);
+
+  /// Reads every registered metric at simulated time `now` (needed for
+  /// time-weighted averages).
+  MetricsSnapshot Snapshot(sim::Time now) const;
+
+  /// Registered metric names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + tw_gauges_.size() +
+           histograms_.size();
+  }
+
+ private:
+  std::map<std::string, const sim::Counter*> counters_;
+  std::map<std::string, const sim::Gauge*> gauges_;
+  std::map<std::string, const sim::TimeWeightedGauge*> tw_gauges_;
+  std::map<std::string, const sim::Histogram*> histograms_;
+};
+
+}  // namespace dlog::obs
+
+#endif  // DLOG_OBS_METRICS_H_

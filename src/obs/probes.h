@@ -1,0 +1,41 @@
+#ifndef DLOG_OBS_PROBES_H_
+#define DLOG_OBS_PROBES_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dlog::obs {
+
+/// Trace-driven invariant checkers. Each probe scans the recorded span
+/// stream after (or during) a run and returns a human-readable violation
+/// string per broken invariant; an empty vector means the invariant held.
+/// Probes are pure functions of the span stream, so they compose with the
+/// determinism guarantee: a failing interleaving can be replayed exactly.
+
+/// Paper Section 2.3 durability rule: a client must not complete a
+/// ForceLog (span "ForceLog" closing) before at least `quorum` servers
+/// have durably accepted it (one "force.ack" instant per server in the
+/// same trace, at or before the close time). Open ForceLog spans (client
+/// still waiting, or crashed) are not violations.
+std::vector<std::string> CheckForceAckQuorum(const Tracer& tracer, int quorum);
+
+/// Log-order rule: on each server, the record stream of one client must
+/// advance monotonically — "nvram.buffer" instants (args client/lsn/epoch)
+/// per (server node, client) must have non-decreasing epoch, and strictly
+/// increasing lsn within an epoch. Re-sends after a crash arrive under a
+/// higher epoch and may legitimately repeat lsns.
+std::vector<std::string> CheckLsnMonotonic(const Tracer& tracer);
+
+/// Tree rule: every non-root span's parent id must reference an
+/// earlier-recorded span of the same trace. Guards the exporters'
+/// assumption that spans form connected per-trace trees.
+std::vector<std::string> CheckSpanTreeConnected(const Tracer& tracer);
+
+/// Runs every probe above; `quorum` feeds CheckForceAckQuorum.
+std::vector<std::string> RunAllProbes(const Tracer& tracer, int quorum);
+
+}  // namespace dlog::obs
+
+#endif  // DLOG_OBS_PROBES_H_

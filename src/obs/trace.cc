@@ -1,0 +1,68 @@
+#include "obs/trace.h"
+
+namespace dlog::obs {
+
+// Span ids are minted only when a span is recorded, so id k always sits
+// at spans_[k - 1].
+Span* Tracer::Find(SpanId id) {
+  if (id == kNoSpan || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+SpanContext Tracer::StartTrace(const std::string& name,
+                               const std::string& node) {
+  if (!enabled_) return {};
+  Span span;
+  span.trace = next_trace_++;
+  span.id = next_span_++;
+  span.name = name;
+  span.node = node;
+  span.start = sim_->Now();
+  spans_.push_back(std::move(span));
+  return {spans_.back().trace, spans_.back().id};
+}
+
+SpanContext Tracer::StartSpan(const std::string& name,
+                              const std::string& node, SpanContext parent) {
+  if (!enabled_ || !parent.valid()) return {};
+  Span span;
+  span.trace = parent.trace;
+  span.id = next_span_++;
+  span.parent = parent.span;
+  span.name = name;
+  span.node = node;
+  span.start = sim_->Now();
+  spans_.push_back(std::move(span));
+  return {parent.trace, spans_.back().id};
+}
+
+SpanContext Tracer::Instant(const std::string& name, const std::string& node,
+                            SpanContext parent) {
+  SpanContext ctx = StartSpan(name, node, parent);
+  EndSpan(ctx);
+  return ctx;
+}
+
+void Tracer::AddArg(SpanContext ctx, const std::string& key,
+                    uint64_t value) {
+  if (!ctx.valid()) return;
+  Span* span = Find(ctx.span);
+  if (span != nullptr) span->args.emplace_back(key, value);
+}
+
+void Tracer::EndSpan(SpanContext ctx) {
+  if (!ctx.valid()) return;
+  Span* span = Find(ctx.span);
+  if (span == nullptr || !span->open) return;
+  span->end = sim_->Now();
+  span->open = false;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  context_stack_.clear();
+  next_trace_ = 1;
+  next_span_ = 1;
+}
+
+}  // namespace dlog::obs

@@ -1,0 +1,134 @@
+#ifndef DLOG_OBS_TRACE_H_
+#define DLOG_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace dlog::obs {
+
+/// Identifies one causal tree of spans (normally: one transaction).
+using TraceId = uint64_t;
+/// Identifies one timed stage within a trace.
+using SpanId = uint64_t;
+
+constexpr TraceId kNoTrace = 0;
+constexpr SpanId kNoSpan = 0;
+
+/// The pair that travels with work as it moves between components (and,
+/// for the record stream, across the wire inside message metadata).
+struct SpanContext {
+  TraceId trace = kNoTrace;
+  SpanId span = kNoSpan;
+
+  bool valid() const { return trace != kNoTrace; }
+};
+
+/// One timed stage of a trace. `end == start` with `open == false` marks
+/// an instant event (a point in time rather than an interval).
+struct Span {
+  TraceId trace = kNoTrace;
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;  // kNoSpan for trace roots
+  std::string name;         // stage name: "txn", "ForceLog", "wire.send", ...
+  std::string node;         // emitting node: "client-1", "server-2", ...
+  sim::Time start = 0;
+  sim::Time end = 0;
+  bool open = true;
+  /// Deterministically ordered key/value annotations (lsn, upto, ...).
+  std::vector<std::pair<std::string, uint64_t>> args;
+};
+
+/// Records causal spans against simulated time. Because the simulation is
+/// a single-threaded deterministic DES, span ids are simple sequence
+/// numbers and a (config, seed) pair always produces the identical span
+/// stream — traces are byte-for-byte reproducible.
+///
+/// Components hold a `Tracer*` that may be null (tracing compiled out of
+/// a run); every entry point tolerates null. Context propagation into
+/// callees that take no context parameter (e.g. TxnLogger::Force) uses an
+/// explicit stack of "current" contexts, scoped via Tracer::Scope.
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulator* sim) : sim_(sim) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// When disabled, every Start*/Instant returns an invalid context and
+  /// records nothing (cheap no-op for long bulk runs).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Opens a new root span, minting a fresh trace id.
+  SpanContext StartTrace(const std::string& name, const std::string& node);
+
+  /// Opens a child span of `parent`. An invalid parent yields an invalid
+  /// context (the whole subtree is dropped).
+  SpanContext StartSpan(const std::string& name, const std::string& node,
+                        SpanContext parent);
+
+  /// Records a zero-length event under `parent`.
+  SpanContext Instant(const std::string& name, const std::string& node,
+                      SpanContext parent);
+
+  /// Attaches a key/value annotation to an open span.
+  void AddArg(SpanContext ctx, const std::string& key, uint64_t value);
+
+  /// Closes a span at the current simulated time. Closing an already
+  /// closed or invalid span is a no-op (lost-message tolerance: a
+  /// wire.send span whose packet the network dropped is simply never
+  /// closed and exports as an open span).
+  void EndSpan(SpanContext ctx);
+
+  // --- Context stack (single-threaded scoped propagation) ---
+  void PushContext(SpanContext ctx) { context_stack_.push_back(ctx); }
+  void PopContext() {
+    if (!context_stack_.empty()) context_stack_.pop_back();
+  }
+  /// The innermost pushed context; invalid when the stack is empty.
+  SpanContext Current() const {
+    return context_stack_.empty() ? SpanContext{} : context_stack_.back();
+  }
+
+  /// RAII context scope, tolerant of a null tracer.
+  class Scope {
+   public:
+    Scope(Tracer* tracer, SpanContext ctx) : tracer_(tracer) {
+      if (tracer_ != nullptr) tracer_->PushContext(ctx);
+    }
+    ~Scope() {
+      if (tracer_ != nullptr) tracer_->PopContext();
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* tracer_;
+  };
+
+  /// All spans recorded so far, in id (creation) order; open spans
+  /// included.
+  const std::vector<Span>& spans() const { return spans_; }
+  size_t span_count() const { return spans_.size(); }
+
+  void Clear();
+
+ private:
+  Span* Find(SpanId id);
+
+  sim::Simulator* sim_;
+  bool enabled_ = true;
+  TraceId next_trace_ = 1;
+  SpanId next_span_ = 1;
+  std::vector<Span> spans_;
+  std::vector<SpanContext> context_stack_;
+};
+
+}  // namespace dlog::obs
+
+#endif  // DLOG_OBS_TRACE_H_

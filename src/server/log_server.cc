@@ -37,6 +37,32 @@ storage::StableCell* LogServer::generator_cell(ClientId client) {
   return &generator_cells_[client];
 }
 
+void LogServer::SetTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  trace_node_ = "server-" + std::to_string(config_.node_id);
+}
+
+void LogServer::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  const std::string node = "server-" + std::to_string(config_.node_id);
+  const std::string prefix = node + "/log/";
+  registry->RegisterCounter(prefix + "records_written", &records_written_);
+  registry->RegisterCounter(prefix + "forces_acked", &forces_acked_);
+  registry->RegisterCounter(prefix + "tracks_written", &tracks_written_);
+  registry->RegisterCounter(prefix + "missing_interval_sent",
+                            &missing_interval_sent_);
+  registry->RegisterCounter(prefix + "writes_shed", &writes_shed_);
+  registry->RegisterCounter(prefix + "read_rpcs", &read_rpcs_);
+  registry->RegisterCounter(prefix + "records_truncated",
+                            &records_truncated_);
+  registry->RegisterTimeWeightedGauge(node + "/nvram/occupancy_bytes",
+                                      &nvram_occupancy_);
+}
+
+void LogServer::NoteNvramLevel() {
+  nvram_occupancy_.Set(sim_->Now(),
+                       static_cast<double>(nvram_buffer_->used_bytes()));
+}
+
 LogServer::ClientState& LogServer::StateOf(ClientId client) {
   return clients_[client];
 }
@@ -150,6 +176,15 @@ bool LogServer::ApplyRecord(ClientState* state, ClientId client,
   (void)nv;
   records_written_.Increment();
   bytes_logged_ += record.data.size();
+  NoteNvramLevel();
+  if (tracer_ != nullptr && current_batch_ctx_.valid()) {
+    obs::SpanContext instant =
+        tracer_->Instant("nvram.buffer", trace_node_, current_batch_ctx_);
+    tracer_->AddArg(instant, "client", client);
+    tracer_->AddArg(instant, "lsn", record.lsn);
+    tracer_->AddArg(instant, "epoch", record.epoch);
+    record_ctx_[{client, record.lsn, record.epoch}] = current_batch_ctx_;
+  }
   ScheduleFlushTimer();
   return true;
 }
@@ -202,6 +237,11 @@ void LogServer::HandleRecords(const ReplyFn& reply,
   Result<wire::RecordBatch> batch = wire::DecodeRecordBatch(env.body);
   if (!batch.ok()) return;
 
+  // The batch arrived: close the sender's wire.send span (the shared
+  // tracer makes the client-minted id resolvable here).
+  const obs::SpanContext batch_ctx{batch->trace, batch->span};
+  if (tracer_ != nullptr) tracer_->EndSpan(batch_ctx);
+
   if (NvramFraction() > config_.shed_nvram_fraction) {
     // "They are free to ignore ForceLog and WriteLog messages if they
     // become too heavily loaded."
@@ -209,6 +249,7 @@ void LogServer::HandleRecords(const ReplyFn& reply,
     return;
   }
 
+  current_batch_ctx_ = batch_ctx;
   ClientState& state = StateOf(batch->client);
   std::vector<LogRecord> records = batch->records;
   std::sort(records.begin(), records.end(),
@@ -264,7 +305,7 @@ void LogServer::HandleRecords(const ReplyFn& reply,
   if (force) {
     if (config_.ack_after_disk) {
       // No-NVRAM ablation: the acknowledgment waits for the disk.
-      pending_acks_.push_back(PendingAck{reply, batch->client});
+      pending_acks_.push_back(PendingAck{reply, batch->client, batch_ctx});
       FlushNow();
     } else {
       // Records are stable the moment they reach NVRAM, so the force is
@@ -272,10 +313,16 @@ void LogServer::HandleRecords(const ReplyFn& reply,
       wire::NewHighLsnMsg ack;
       ack.new_high_lsn = state.store.HighestLsn();
       forces_acked_.Increment();
+      if (tracer_ != nullptr) {
+        obs::SpanContext instant =
+            tracer_->Instant("force.ack", trace_node_, batch_ctx);
+        tracer_->AddArg(instant, "lsn", ack.new_high_lsn);
+      }
       reply(wire::EncodeNewHighLsn(ack));
     }
   }
 
+  current_batch_ctx_ = {};
   MaybeFlush();
 }
 
@@ -451,6 +498,7 @@ void LogServer::HandleInstallCopies(wire::Connection* conn,
       records_written_.Increment();
       bytes_logged_ += r.data.size();
     }
+    NoteNvramLevel();
     ScheduleFlushTimer();
   }
   Reply(conn, wire::EncodeInstallCopiesResp(resp, env.rpc_id));
@@ -516,23 +564,50 @@ void LogServer::MaybeFlush() {
   flush_in_progress_ = true;
   const uint64_t track = next_track_++;
   const uint64_t generation = generation_;
+
+  // One "track.write" span per distinct trace whose records this track
+  // makes disk-resident; the buffering-time contexts are consumed here.
+  std::vector<obs::SpanContext> track_spans;
+  if (tracer_ != nullptr) {
+    std::map<obs::TraceId, bool> seen;
+    for (const StreamEntry& e : entries) {
+      auto it = record_ctx_.find({e.client, e.record.lsn, e.record.epoch});
+      if (it == record_ctx_.end()) continue;
+      const obs::SpanContext ctx = it->second;
+      record_ctx_.erase(it);
+      if (!seen.insert({ctx.trace, true}).second) continue;
+      obs::SpanContext span =
+          tracer_->StartSpan("track.write", trace_node_, ctx);
+      tracer_->AddArg(span, "track", track);
+      track_spans.push_back(span);
+    }
+  }
+
   Bytes track_bytes = EncodeTrack(entries);
   cpu_->Execute(config_.instr_per_track_write, [this, generation, track,
                                                 track_bytes =
                                                     std::move(track_bytes),
                                                 entries =
                                                     std::move(entries),
+                                                track_spans =
+                                                    std::move(track_spans),
                                                 count]() mutable {
     if (generation != generation_ || !up_) return;
     disk_->WriteTrack(
         track, std::move(track_bytes),
         [this, generation, track, entries = std::move(entries),
-         count](Status st) {
+         track_spans = std::move(track_spans), count](Status st) {
           if (generation != generation_ || !up_) return;
           flush_in_progress_ = false;
+          if (tracer_ != nullptr) {
+            for (const obs::SpanContext& span : track_spans) {
+              tracer_->EndSpan(span);
+            }
+          }
           if (!st.ok()) return;  // write-once conflict etc.: keep in NVRAM
           tracks_written_.Increment();
           nvram_buffer_->PopFront(count);
+          NoteNvramLevel();
           // Record disk locations and extend the append-forest indexes.
           std::map<ClientId, std::pair<Lsn, Lsn>> ranges;
           for (const StreamEntry& e : entries) {
@@ -552,6 +627,11 @@ void LogServer::MaybeFlush() {
               wire::NewHighLsnMsg ack;
               ack.new_high_lsn = StateOf(pa.client).store.HighestLsn();
               forces_acked_.Increment();
+              if (tracer_ != nullptr) {
+                obs::SpanContext instant =
+                    tracer_->Instant("force.ack", trace_node_, pa.ctx);
+                tracer_->AddArg(instant, "lsn", ack.new_high_lsn);
+              }
               pa.reply(wire::EncodeNewHighLsn(ack));
             }
           }
@@ -588,6 +668,8 @@ void LogServer::Crash() {
   disk_->Crash();
   clients_.clear();
   pending_acks_.clear();
+  record_ctx_.clear();
+  current_batch_ctx_ = {};
   flush_in_progress_ = false;
   if (flush_timer_ != 0) {
     sim_->Cancel(flush_timer_);
@@ -602,6 +684,7 @@ void LogServer::WipeStorage() {
   // part of the lost node; quorum intersection tolerates a minority of
   // representatives losing state.
   nvram_buffer_ = std::make_unique<storage::NvramQueue>(config_.nvram_bytes);
+  NoteNvramLevel();
   truncate_marks_.clear();
   generator_cells_.clear();
 }

@@ -6,12 +6,16 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/log_types.h"
 #include "forest/append_forest.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/client_log_store.h"
 #include "server/track_format.h"
 #include "sim/cpu.h"
@@ -105,6 +109,16 @@ class LogServer {
   /// Forces any buffered records to disk now (test/shutdown helper).
   void FlushNow();
 
+  // --- Observability ---
+  /// Attaches the shared causal tracer: incoming record batches close
+  /// their sender's "wire.send" span, buffered records emit
+  /// "nvram.buffer" instants, disk flushes emit "track.write" spans, and
+  /// force acknowledgments emit "force.ack" instants.
+  void SetTracer(obs::Tracer* tracer);
+  /// Registers this server's counters and the NVRAM occupancy gauge
+  /// under "server-<id>/...".
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
+
   // --- Introspection for tests, figures, and experiments ---
 
   /// Interval list currently stored for `client` (empty if unknown).
@@ -181,6 +195,8 @@ class LogServer {
   ClientState& StateOf(ClientId client);
   double NvramFraction() const;
   void RebuildFromStableStorage();
+  /// Samples the NVRAM occupancy gauge after any buffer change.
+  void NoteNvramLevel();
 
   sim::Simulator* sim_;
   LogServerConfig config_;
@@ -200,6 +216,7 @@ class LogServer {
   struct PendingAck {
     ReplyFn reply;
     ClientId client;
+    obs::SpanContext ctx;
   };
   std::vector<PendingAck> pending_acks_;
 
@@ -214,6 +231,17 @@ class LogServer {
   sim::EventId flush_timer_ = 0;
   std::map<ClientId, ClientState> clients_;  // volatile
 
+  obs::Tracer* tracer_ = nullptr;
+  std::string trace_node_;
+  /// Context of the record batch currently being applied (parents the
+  /// per-record "nvram.buffer" instants).
+  obs::SpanContext current_batch_ctx_;
+  /// (client, lsn, epoch) -> originating wire.send context, recorded at
+  /// buffering time and consumed when the record's track flushes, so each
+  /// "track.write" span is attributed to the transactions it made
+  /// disk-resident. Volatile (traces of lost records stay open).
+  std::map<std::tuple<ClientId, Lsn, Epoch>, obs::SpanContext> record_ctx_;
+
   sim::Counter records_written_;
   sim::Counter forces_acked_;
   sim::Counter tracks_written_;
@@ -221,6 +249,7 @@ class LogServer {
   sim::Counter writes_shed_;
   sim::Counter read_rpcs_;
   sim::Counter records_truncated_;
+  sim::TimeWeightedGauge nvram_occupancy_;
   uint64_t bytes_logged_ = 0;
 };
 

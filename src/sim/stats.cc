@@ -46,6 +46,12 @@ double Histogram::Percentile(double q) const {
   return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 std::string Histogram::Summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/time.h"
+
 namespace dlog::sim {
 
 /// Accumulates scalar samples (latencies, sizes, queue depths) and reports
@@ -23,8 +25,14 @@ class Histogram {
   double Mean() const;
   double Min() const;
   double Max() const;
-  /// q in [0,1]; e.g. Percentile(0.5) is the median. Returns 0 when empty.
+  /// q in [0,1]; e.g. Percentile(0.5) is the median. Linearly
+  /// interpolates between adjacent ranks (so the p50 of {1, 2} is 1.5,
+  /// not a nearest-rank pick). Returns 0 when empty.
   double Percentile(double q) const;
+
+  /// Folds `other`'s samples into this histogram (per-node -> cluster
+  /// aggregation).
+  void Merge(const Histogram& other);
 
   /// "n=… mean=… p50=… p95=… max=…" one-line summary.
   std::string Summary() const;
@@ -51,6 +59,81 @@ class Counter {
 
  private:
   uint64_t value_ = 0;
+};
+
+/// An instantaneous level that moves both ways (queue depth, buffered
+/// bytes, ring slots in use). Unlike Counter it is signed and settable,
+/// and it tracks the high-water mark.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_ = value;
+    max_ = std::max(max_, value);
+  }
+  void Add(int64_t delta) { Set(value_ + delta); }
+  int64_t value() const { return value_; }
+  int64_t max() const { return max_; }
+  void Reset() {
+    value_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  int64_t value_ = 0;
+  int64_t max_ = 0;
+};
+
+/// A gauge whose mean is weighted by how long each level was held —
+/// the right average for occupancies and utilizations (a buffer that sat
+/// 99% full for 9 s and empty for 1 s averages 0.891, not the 0.495 a
+/// plain sample mean of the two levels would report). Callers pass the
+/// simulated clock explicitly so the stats layer stays time-source
+/// agnostic.
+class TimeWeightedGauge {
+ public:
+  /// Records a level change at time `now` (must be >= the previous call's
+  /// time; equal times simply replace the level).
+  void Set(Time now, double value) {
+    if (started_) {
+      weighted_sum_ += value_ * static_cast<double>(now - last_change_);
+    } else {
+      started_ = true;
+      start_ = now;
+    }
+    last_change_ = now;
+    value_ = value;
+    max_ = std::max(max_, value);
+  }
+
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+  /// Time-weighted mean level over [first Set, now]. Returns the current
+  /// level when no time has elapsed, 0 before any Set.
+  double Average(Time now) const {
+    if (!started_) return 0.0;
+    const double elapsed = static_cast<double>(now - start_);
+    if (elapsed <= 0) return value_;
+    const double sum =
+        weighted_sum_ + value_ * static_cast<double>(now - last_change_);
+    return sum / elapsed;
+  }
+
+  void Reset(Time now) {
+    started_ = true;
+    start_ = now;
+    last_change_ = now;
+    weighted_sum_ = 0;
+    max_ = value_;
+  }
+
+ private:
+  bool started_ = false;
+  Time start_ = 0;
+  Time last_change_ = 0;
+  double value_ = 0;
+  double max_ = 0;
+  double weighted_sum_ = 0;
 };
 
 }  // namespace dlog::sim

@@ -13,6 +13,18 @@ TransactionEngine::TransactionEngine(sim::Simulator* sim, TxnLogger* logger,
   pool_ = std::make_unique<BufferPool>(disk);
 }
 
+void TransactionEngine::SetTracer(obs::Tracer* tracer,
+                                  const std::string& node) {
+  tracer_ = tracer;
+  trace_node_ = node;
+}
+
+void TransactionEngine::RegisterMetrics(obs::MetricsRegistry* registry,
+                                        const std::string& node) const {
+  registry->RegisterCounter(node + "/tp/commits", &commits_);
+  registry->RegisterCounter(node + "/tp/aborts", &aborts_);
+}
+
 Result<Lsn> TransactionEngine::AppendRecord(const WalRecord& record) {
   Bytes payload = EncodeWalRecord(record);
   log_bytes_ += payload.size();
@@ -23,11 +35,23 @@ Result<Lsn> TransactionEngine::AppendRecord(const WalRecord& record) {
 Result<TxnId> TransactionEngine::Begin() {
   if (crashed_) return Status::Aborted("engine crashed");
   const TxnId txn = next_txn_++;
+  obs::SpanContext root;
+  if (tracer_ != nullptr) {
+    root = tracer_->StartTrace("txn", trace_node_);
+    tracer_->AddArg(root, "txn", txn);
+  }
   WalRecord rec;
   rec.type = WalType::kBegin;
   rec.txn = txn;
-  DLOG_RETURN_IF_ERROR(AppendRecord(rec).status());
-  active_[txn] = ActiveTxn{};
+  {
+    obs::Tracer::Scope scope(tracer_, root);
+    Status st = AppendRecord(rec).status();
+    if (!st.ok()) {
+      if (tracer_ != nullptr) tracer_->EndSpan(root);
+      return st;
+    }
+  }
+  active_[txn] = ActiveTxn{{}, root};
   return txn;
 }
 
@@ -59,6 +83,7 @@ Status TransactionEngine::Update(TxnId txn, PageId page, uint32_t offset,
   } else {
     rec.undo = old_image;
   }
+  obs::Tracer::Scope scope(tracer_, it->second.span);
   DLOG_ASSIGN_OR_RETURN(Lsn lsn, AppendRecord(rec));
 
   pool_->ApplyUpdate(page, offset, bytes, lsn);
@@ -80,11 +105,23 @@ void TransactionEngine::Commit(TxnId txn, std::function<void(Status)> done) {
     });
     return;
   }
+  const obs::SpanContext root = active_[txn].span;
+  obs::SpanContext commit_span;
+  if (tracer_ != nullptr) {
+    commit_span = tracer_->StartSpan("commit", trace_node_, root);
+  }
   WalRecord rec;
   rec.type = WalType::kCommit;
   rec.txn = txn;
-  Result<Lsn> lsn = AppendRecord(rec);
+  Result<Lsn> lsn = [&]() {
+    obs::Tracer::Scope scope(tracer_, commit_span);
+    return AppendRecord(rec);
+  }();
   if (!lsn.ok()) {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(commit_span);
+      tracer_->EndSpan(root);
+    }
     sim_->After(0, [done = std::move(done), st = lsn.status()]() {
       done(st);
     });
@@ -95,10 +132,20 @@ void TransactionEngine::Commit(TxnId txn, std::function<void(Status)> done) {
   // "When a transaction commits, the undo components of log records
   // written by the transaction are flushed from the cache."
   active_.erase(txn);
-  logger_->Force(*lsn, [this, done = std::move(done)](Status st) {
-    if (st.ok()) commits_.Increment();
-    done(st);
-  });
+  {
+    // The scoped context makes the client's ForceLog span (and the sends
+    // it triggers) children of the commit span.
+    obs::Tracer::Scope scope(tracer_, commit_span);
+    logger_->Force(*lsn, [this, root, commit_span,
+                          done = std::move(done)](Status st) {
+      if (st.ok()) commits_.Increment();
+      if (tracer_ != nullptr) {
+        tracer_->EndSpan(commit_span);
+        tracer_->EndSpan(root);
+      }
+      done(st);
+    });
+  }
 }
 
 Status TransactionEngine::Abort(TxnId txn) {
@@ -113,6 +160,8 @@ Status TransactionEngine::Abort(TxnId txn) {
   // server"), logging redo-only compensation records so recovery replays
   // the rollback.
   ActiveTxn& state = it->second;
+  obs::Tracer::Scope scope(tracer_, state.span);
+  const obs::SpanContext root = state.span;
   for (auto u = state.updates.rbegin(); u != state.updates.rend(); ++u) {
     WalRecord clr;
     clr.type = WalType::kUpdate;
@@ -129,6 +178,7 @@ Status TransactionEngine::Abort(TxnId txn) {
   DLOG_RETURN_IF_ERROR(AppendRecord(rec).status());
   active_.erase(it);
   aborts_.Increment();
+  if (tracer_ != nullptr) tracer_->EndSpan(root);
   return Status::OK();
 }
 

@@ -5,11 +5,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/log_types.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 #include "tp/logger.h"
@@ -81,6 +84,15 @@ class TransactionEngine {
   PageDisk& disk() { return *disk_; }
   size_t active_transactions() const { return active_.size(); }
 
+  // --- Observability ---
+  /// Attaches the shared causal tracer. Every Begin() mints a "txn" root
+  /// span (closed when the transaction commits or aborts); the scoped
+  /// context makes downstream log appends and forces children of it.
+  void SetTracer(obs::Tracer* tracer, const std::string& node);
+  /// Registers commit/abort counters under "<node>/tp/...".
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& node) const;
+
   // --- statistics (experiment E7) ---
   uint64_t log_bytes() const { return log_bytes_; }
   uint64_t log_records() const { return log_records_; }
@@ -100,6 +112,8 @@ class TransactionEngine {
   };
   struct ActiveTxn {
     std::vector<UpdateInfo> updates;
+    /// Root span of this transaction's causal trace.
+    obs::SpanContext span;
   };
 
   /// Appends a WAL record, tracking volume statistics.
@@ -118,6 +132,9 @@ class TransactionEngine {
   bool crashed_ = false;
   TxnId next_txn_ = 1;
   std::map<TxnId, ActiveTxn> active_;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::string trace_node_;
 
   uint64_t log_bytes_ = 0;
   uint64_t log_records_ = 0;

@@ -58,8 +58,9 @@ size_t EncodedRecordSize(const LogRecord& record) {
 }
 
 size_t RecordBatchOverhead() {
-  // type(1) + rpc_id(8) + client(4) + epoch(8) + count(4)
-  return 1 + 8 + 4 + 8 + 4;
+  // type(1) + rpc_id(8) + client(4) + epoch(8) + trace(8) + span(8) +
+  // count(4)
+  return 1 + 8 + 4 + 8 + 8 + 8 + 4;
 }
 
 Bytes EncodeRecordBatch(MessageType type, const RecordBatch& m,
@@ -70,6 +71,8 @@ Bytes EncodeRecordBatch(MessageType type, const RecordBatch& m,
   PutHeader(&enc, type, rpc_id);
   enc.PutU32(m.client);
   enc.PutU64(m.epoch);
+  enc.PutU64(m.trace);
+  enc.PutU64(m.span);
   PutRecords(&enc, m.records);
   return out;
 }
@@ -280,6 +283,8 @@ Result<RecordBatch> DecodeRecordBatch(const Bytes& body) {
   RecordBatch m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
   DLOG_ASSIGN_OR_RETURN(m.epoch, dec.GetU64());
+  DLOG_ASSIGN_OR_RETURN(m.trace, dec.GetU64());
+  DLOG_ASSIGN_OR_RETURN(m.span, dec.GetU64());
   DLOG_ASSIGN_OR_RETURN(m.records, GetRecords(&dec));
   return m;
 }

@@ -60,6 +60,12 @@ struct Envelope {
 struct RecordBatch {
   ClientId client = 0;
   Epoch epoch = 0;
+  /// Causal-trace metadata (src/obs): the wire.send span covering this
+  /// batch's delivery. Zero when tracing is off. Carried in the message
+  /// so the receiving server can close the sender's span and attribute
+  /// buffering/track writes to the originating transaction.
+  uint64_t trace = 0;
+  uint64_t span = 0;
   std::vector<LogRecord> records;
 };
 

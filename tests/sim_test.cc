@@ -173,5 +173,79 @@ TEST(CounterTest, IncrementAndReset) {
   EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(HistogramTest, MergeFoldsSamples) {
+  Histogram a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  b.Add(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), 3.0);
+  // The source is untouched.
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram a, b;
+  a.Add(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+TEST(GaugeTest, TracksLevelAndHighWaterMark) {
+  Gauge g;
+  g.Set(4);
+  g.Add(3);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(-5);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 7);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(GaugeTest, NegativeLevelsAllowed) {
+  Gauge g;
+  g.Add(-3);
+  EXPECT_EQ(g.value(), -3);
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(TimeWeightedGaugeTest, AverageWeightsByHoldingTime) {
+  TimeWeightedGauge g;
+  // Level 10 for 9 units, then 0 for 1 unit: mean 9.0, not 5.0.
+  g.Set(0, 10.0);
+  g.Set(9, 0.0);
+  EXPECT_DOUBLE_EQ(g.Average(10), 9.0);
+  EXPECT_DOUBLE_EQ(g.max(), 10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(TimeWeightedGaugeTest, BeforeAnySetIsZero) {
+  TimeWeightedGauge g;
+  EXPECT_DOUBLE_EQ(g.Average(100), 0.0);
+}
+
+TEST(TimeWeightedGaugeTest, NoElapsedTimeReturnsCurrentLevel) {
+  TimeWeightedGauge g;
+  g.Set(5, 3.0);
+  EXPECT_DOUBLE_EQ(g.Average(5), 3.0);
+}
+
+TEST(TimeWeightedGaugeTest, ResetStartsNewWindow) {
+  TimeWeightedGauge g;
+  g.Set(0, 100.0);
+  g.Set(10, 2.0);
+  g.Reset(10);
+  EXPECT_DOUBLE_EQ(g.Average(20), 2.0);
+  // Max restarts from the level held at reset time.
+  EXPECT_DOUBLE_EQ(g.max(), 2.0);
+}
+
 }  // namespace
 }  // namespace dlog::sim
