@@ -1,0 +1,242 @@
+// Experiment E10 — simulated vs closed-form availability (Section 3.2).
+//
+// The first end-to-end check that the implemented protocol actually
+// delivers the availability the paper computes. A chaos::ChaosController
+// runs the Section 3.2 Markov fault process (per-server exponential
+// up/down cycles, p = MTTR/(MTTF+MTTR) = 10/200 = 0.05) against a live
+// cluster while two probe clients Monte-Carlo the paper's two
+// operations:
+//
+//   * WriteLog availability — a persistent writer attempts a small
+//     write + force every probe interval. The paper: available iff at
+//     most M-N servers are down (any N of M can hold the copies).
+//   * ClientInit availability — a probe client is crash-cycled through
+//     the cluster lifecycle (CrashClient/RestartClient) and re-runs the
+//     Section 3.1.2 initialization. The paper: available iff at most
+//     N-1 servers are down (M-N+1 interval lists are reachable).
+//
+// Alongside the protocol probes, the same instants are state-sampled
+// (count down servers, apply the combinatorial condition directly),
+// separating Monte-Carlo noise from protocol effects: state-sampled vs
+// closed-form shows sampling error; protocol vs state-sampled shows
+// implementation deviation.
+//
+// Output: BENCH_E10.json, one row per (N, M) configuration. With fixed
+// seeds the run — and the JSON — is byte-identical across reruns.
+//
+// Usage: bench_e10_simulated_availability [probes_per_config]
+//   default 4000 (a few tens of seconds); CI soak uses a small count
+//   and the tolerance below widens with the matching 3.5-sigma bound.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "analysis/availability.h"
+#include "chaos/controller.h"
+#include "harness/cluster.h"
+#include "obs/bench_report.h"
+
+namespace {
+
+using namespace dlog;
+
+constexpr sim::Duration kProbeInterval = 10 * sim::kSecond;
+constexpr sim::Duration kWarmup = 300 * sim::kSecond;
+constexpr sim::Duration kProbeTimeout = 3 * sim::kSecond;
+
+struct ConfigResult {
+  double write_measured = 0;  // protocol probe success fraction
+  double init_measured = 0;
+  double write_state = 0;  // state-sampled (same instants, same path)
+  double init_state = 0;
+  uint64_t server_crashes = 0;
+};
+
+/// Probe clients fail fast: a probe must resolve well inside the probe
+/// interval, so an unavailable instant is reported as a failure instead
+/// of being ridden out until the servers repair.
+client::LogClientConfig ProbeClientConfig(uint32_t client_id, int copies) {
+  client::LogClientConfig cfg;
+  cfg.client_id = client_id;
+  cfg.copies = copies;
+  cfg.force_timeout = 300 * sim::kMillisecond;
+  cfg.force_retries = 2;
+  cfg.rpc_timeout = 150 * sim::kMillisecond;
+  cfg.rpc_attempts = 2;
+  return cfg;
+}
+
+ConfigResult RunConfig(int m, int n, int probes, uint64_t seed) {
+  harness::ClusterConfig cluster_cfg;
+  cluster_cfg.num_servers = m;
+  cluster_cfg.seed = seed;
+  harness::Cluster cluster(cluster_cfg);
+
+  harness::ClientHandle writer = cluster.AddClient(ProbeClientConfig(1, n));
+  harness::ClientHandle initer = cluster.AddClient(ProbeClientConfig(2, n));
+
+  // Probe callbacks hold their state on the heap: a probe that times out
+  // (counted unavailable) may still complete later, once servers repair,
+  // and that late completion must land somewhere harmless.
+  struct ProbeState {
+    bool done = false;
+    Status status = Status::Internal("pending");
+  };
+  auto init_client = [&](harness::ClientHandle& c) {
+    auto state = std::make_shared<ProbeState>();
+    c->Init([state](Status s) {
+      state->status = s;
+      state->done = true;
+    });
+    cluster.RunUntil([&]() { return state->done; }, kProbeTimeout);
+    return state->done && state->status.ok();
+  };
+  if (!init_client(writer) || !init_client(initer)) {
+    std::fprintf(stderr, "E10: initial Init failed (M=%d N=%d)\n", m, n);
+    std::exit(2);
+  }
+
+  chaos::MarkovFaultConfig markov;  // 190s/10s defaults: p = 0.05
+  markov.seed = seed + 17;
+  cluster.chaos().StartMarkov(markov);
+  cluster.sim().RunFor(kWarmup);  // mix toward the stationary state
+
+  ConfigResult r;
+  uint64_t write_ok = 0, init_ok = 0, state_write_ok = 0, state_init_ok = 0;
+  Lsn last_forced = kNoLsn;
+  for (int i = 0; i < probes; ++i) {
+    const sim::Time probe_start = cluster.sim().Now();
+
+    // State sample at the probe instant (the closed forms' condition).
+    int down = 0;
+    for (int s = 1; s <= m; ++s) {
+      if (!cluster.server(s).IsUp()) ++down;
+    }
+    if (down <= m - n) ++state_write_ok;
+    if (down <= n - 1) ++state_init_ok;
+
+    // WriteLog probe: one record, forced.
+    Result<Lsn> lsn = writer->WriteLog(ToBytes("p" + std::to_string(i)));
+    if (lsn.ok()) {
+      auto state = std::make_shared<ProbeState>();
+      writer->ForceLog(*lsn, [state](Status st) {
+        state->status = st;
+        state->done = true;
+      });
+      cluster.RunUntil([&]() { return state->done; }, kProbeTimeout);
+      if (state->done && state->status.ok()) {
+        ++write_ok;
+        last_forced = *lsn;
+      }
+    }
+    // Keep the accumulated per-server interval lists bounded so late
+    // probes pay the same RPC sizes as early ones.
+    if (i % 64 == 63 && last_forced != kNoLsn) {
+      writer->TruncateLog(last_forced);
+    }
+
+    // ClientInit probe: a fresh incarnation re-enters the log.
+    cluster.CrashClient(initer);
+    cluster.RestartClient(initer);
+    if (init_client(initer)) ++init_ok;
+
+    const sim::Duration spent = cluster.sim().Now() - probe_start;
+    if (spent < kProbeInterval) cluster.sim().RunFor(kProbeInterval - spent);
+  }
+  cluster.chaos().StopMarkov();
+
+  r.write_measured = static_cast<double>(write_ok) / probes;
+  r.init_measured = static_cast<double>(init_ok) / probes;
+  r.write_state = static_cast<double>(state_write_ok) / probes;
+  r.init_state = static_cast<double>(state_init_ok) / probes;
+  r.server_crashes = cluster.chaos().server_crashes().value();
+  return r;
+}
+
+/// Acceptance band: +-0.01 at the default probe count, widened to the
+/// 3.5-sigma binomial bound when a small CI run can't resolve 0.01.
+double Tolerance(double closed_form, int probes) {
+  const double sigma =
+      std::sqrt(closed_form * (1.0 - closed_form) / probes);
+  return std::max(0.01, 3.5 * sigma);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int probes = argc > 1 ? std::atoi(argv[1]) : 4000;
+  const double p = 0.05;
+
+  obs::BenchReport report("e10_simulated_availability");
+  bool all_ok = true;
+
+  std::printf(
+      "E10: Monte-Carlo availability on the running protocol, Markov "
+      "faults (MTTF=190s MTTR=10s, p=%.2f), %d probes/config\n\n",
+      p, probes);
+  std::printf("%-3s %-3s | %-28s | %-28s\n", "N", "M",
+              "WriteLog (closed/state/meas)",
+              "ClientInit (closed/state/meas)");
+  std::printf("--------+------------------------------+-----------------"
+              "-------------\n");
+
+  const int kConfigs[][2] = {{2, 3}, {2, 5}};  // {N, M}
+  for (const auto& nm : kConfigs) {
+    const int n = nm[0], m = nm[1];
+    const double write_closed = analysis::WriteLogAvailability(m, n, p);
+    const double init_closed = analysis::ClientInitAvailability(m, n, p);
+    const ConfigResult r = RunConfig(m, n, probes, /*seed=*/1000 + m);
+
+    const double write_tol = Tolerance(write_closed, probes);
+    const double init_tol = Tolerance(init_closed, probes);
+    const bool ok =
+        std::abs(r.write_measured - write_closed) <= write_tol &&
+        std::abs(r.init_measured - init_closed) <= init_tol;
+    all_ok = all_ok && ok;
+
+    std::printf("%-3d %-3d | %.4f / %.4f / %.4f     | %.4f / %.4f / "
+                "%.4f     %s\n",
+                n, m, write_closed, r.write_state, r.write_measured,
+                init_closed, r.init_state, r.init_measured,
+                ok ? "[ok]" : "[OUT OF BAND]");
+
+    report.BeginRow();
+    report.SetConfig("n_copies", n);
+    report.SetConfig("m_servers", m);
+    report.SetConfig("p", p);
+    report.SetConfig("mttf_s", 190);
+    report.SetConfig("mttr_s", 10);
+    report.SetConfig("probes", probes);
+    report.SetMetric("write_availability_closed_form", write_closed);
+    report.SetMetric("write_availability_state_mc", r.write_state);
+    report.SetMetric("write_availability_measured", r.write_measured);
+    report.SetMetric("init_availability_closed_form", init_closed);
+    report.SetMetric("init_availability_state_mc", r.init_state);
+    report.SetMetric("init_availability_measured", r.init_measured);
+    report.SetMetric("write_abs_error",
+                     std::abs(r.write_measured - write_closed));
+    report.SetMetric("init_abs_error",
+                     std::abs(r.init_measured - init_closed));
+    report.SetMetric("tolerance_write", write_tol);
+    report.SetMetric("tolerance_init", init_tol);
+    report.SetMetric("server_crashes",
+                     static_cast<double>(r.server_crashes));
+  }
+
+  Status st = report.WriteJson("BENCH_E10.json");
+  if (!st.ok()) {
+    std::printf("failed to write BENCH_E10.json: %s\n",
+                st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_E10.json (%zu rows)\n", report.rows());
+  if (!all_ok) {
+    std::printf("E10 FAILED: measured availability outside the closed-"
+                "form band\n");
+    return 1;
+  }
+  return 0;
+}

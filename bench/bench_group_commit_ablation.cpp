@@ -1,4 +1,4 @@
-// Experiment E10 — ablation of the two Section 4.1 design points:
+// Experiment E13 — ablation of the two Section 4.1 design points:
 //   1. the low-latency non-volatile buffer: with it, a ForceLog is
 //      acknowledged as soon as records reach battery-backed CMOS; without
 //      it every force waits for the disk ("the rotational latencies would

@@ -31,7 +31,7 @@ SpaceResult Run(bool truncate, int txns, int checkpoint_every) {
   harness::Cluster cluster(cluster_cfg);
   client::LogClientConfig log_cfg;
   log_cfg.client_id = 1;
-  auto log = cluster.MakeClient(log_cfg);
+  auto log = cluster.AddClient(log_cfg);
   bool ready = false;
   log->Init([&](Status st) { ready = st.ok(); });
   cluster.RunUntil([&]() { return ready; });

@@ -69,7 +69,7 @@ RunStats RunRemote(int copies) {
   client::LogClientConfig log_cfg;
   log_cfg.client_id = 1;
   log_cfg.copies = copies;
-  auto log = cluster.MakeClient(log_cfg);
+  auto log = cluster.AddClient(log_cfg);
   bool ready = false;
   log->Init([&](Status st) { ready = st.ok(); });
   cluster.RunUntil([&]() { return ready; });

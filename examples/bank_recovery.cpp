@@ -28,7 +28,7 @@ int main() {
   // --- Life 1: normal processing ---
   client::LogClientConfig log_cfg;
   log_cfg.client_id = 42;
-  auto log = cluster.MakeClient(log_cfg);
+  auto log = cluster.AddClient(log_cfg);
   bool ready = false;
   log->Init([&](Status st) { ready = st.ok(); });
   cluster.RunUntil([&]() { return ready; });
@@ -67,13 +67,13 @@ int main() {
 
   std::printf("*** client node crashes ***\n");
   engine->Crash();
-  log->Crash();
+  cluster.CrashClient(log);
 
   // --- Life 2: restart and recover ---
-  client::LogClientConfig log_cfg2;
-  log_cfg2.client_id = 42;  // same client, new incarnation
-  log_cfg2.node_id = 2000;
-  auto log2 = cluster.MakeClient(log_cfg2);
+  // The cluster rebuilds the node with the same identity (client 42);
+  // initialization then runs the paper's Section 3.1.2 procedure.
+  cluster.RestartClient(log);
+  auto log2 = log;
   bool ready2 = false;
   for (int attempt = 0; attempt < 5 && !ready2; ++attempt) {
     bool done = false;

@@ -22,7 +22,7 @@ int main() {
 
   client::LogClientConfig client_cfg;
   client_cfg.client_id = 1;
-  auto log = cluster.MakeClient(client_cfg);
+  auto log = cluster.AddClient(client_cfg);
   bool ready = false;
   log->Init([&](Status st) { ready = st.ok(); });
   cluster.RunUntil([&]() { return ready; });
@@ -64,10 +64,9 @@ int main() {
   cluster.sim().RunFor(100 * sim::kMillisecond);
   for (int s = 1; s <= 3; ++s) cluster.server(s).Restart();
 
-  client::LogClientConfig cfg2;
-  cfg2.client_id = 1;
-  cfg2.node_id = 2000;
-  auto log2 = cluster.MakeClient(cfg2);
+  cluster.CrashClient(log);
+  cluster.RestartClient(log);
+  auto log2 = log;
   ready = false;
   log2->Init([&](Status st) { ready = st.ok(); });
   cluster.RunUntil([&]() { return ready; });

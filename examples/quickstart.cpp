@@ -18,7 +18,7 @@ int main() {
   client::LogClientConfig client_cfg;
   client_cfg.client_id = 1;
   client_cfg.copies = 2;  // N: each record stored on 2 of the 3 servers
-  auto log = cluster.MakeClient(client_cfg);
+  auto log = cluster.AddClient(client_cfg);
 
   // 1. Client initialization (Section 3.1.2): gather interval lists from
   //    M-N+1 servers, obtain a new epoch, recover any partial tail.

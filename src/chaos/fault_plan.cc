@@ -1,0 +1,129 @@
+#include "chaos/fault_plan.h"
+
+#include <utility>
+
+namespace dlog::chaos {
+
+std::string_view FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kServerCrash:
+      return "server_crash";
+    case FaultType::kServerRestart:
+      return "server_restart";
+    case FaultType::kClientCrash:
+      return "client_crash";
+    case FaultType::kClientRestart:
+      return "client_restart";
+    case FaultType::kPartition:
+      return "partition";
+    case FaultType::kHealPartition:
+      return "heal_partition";
+    case FaultType::kLinkDegrade:
+      return "link_degrade";
+    case FaultType::kLinkRestore:
+      return "link_restore";
+    case FaultType::kDiskFail:
+      return "disk_fail";
+    case FaultType::kNvramLoss:
+      return "nvram_loss";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::Add(FaultEvent event) {
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::CrashServer(sim::Duration at, int server) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kServerCrash;
+  e.target = server;
+  return Add(std::move(e));
+}
+
+FaultPlan& FaultPlan::RestartServer(sim::Duration at, int server) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kServerRestart;
+  e.target = server;
+  return Add(std::move(e));
+}
+
+FaultPlan& FaultPlan::CrashClient(sim::Duration at, int client_index) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kClientCrash;
+  e.target = client_index;
+  return Add(std::move(e));
+}
+
+FaultPlan& FaultPlan::RestartClient(sim::Duration at, int client_index) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kClientRestart;
+  e.target = client_index;
+  return Add(std::move(e));
+}
+
+FaultPlan& FaultPlan::Partition(
+    sim::Duration at, int network,
+    std::vector<std::vector<net::NodeId>> groups) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kPartition;
+  e.network = network;
+  e.groups = std::move(groups);
+  return Add(std::move(e));
+}
+
+FaultPlan& FaultPlan::Heal(sim::Duration at, int network) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kHealPartition;
+  e.network = network;
+  return Add(std::move(e));
+}
+
+FaultPlan& FaultPlan::DegradeLink(sim::Duration at, int network,
+                                  net::NodeId src, net::NodeId dst,
+                                  net::LinkFault fault) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kLinkDegrade;
+  e.network = network;
+  e.src = src;
+  e.dst = dst;
+  e.link = fault;
+  return Add(std::move(e));
+}
+
+FaultPlan& FaultPlan::RestoreLink(sim::Duration at, int network,
+                                  net::NodeId src, net::NodeId dst) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kLinkRestore;
+  e.network = network;
+  e.src = src;
+  e.dst = dst;
+  return Add(std::move(e));
+}
+
+FaultPlan& FaultPlan::FailDisk(sim::Duration at, int server) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kDiskFail;
+  e.target = server;
+  return Add(std::move(e));
+}
+
+FaultPlan& FaultPlan::LoseNvram(sim::Duration at, int server) {
+  FaultEvent e;
+  e.at = at;
+  e.type = FaultType::kNvramLoss;
+  e.target = server;
+  return Add(std::move(e));
+}
+
+}  // namespace dlog::chaos

@@ -1,0 +1,91 @@
+#ifndef DLOG_CHAOS_FAULT_PLAN_H_
+#define DLOG_CHAOS_FAULT_PLAN_H_
+
+#include <string_view>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/time.h"
+
+namespace dlog::chaos {
+
+/// Every kind of failure the paper's environment admits: node crashes
+/// and restarts (Section 3.2's per-server down probability p), network
+/// partitions and degraded links (lost packets, Section 2's unreliable
+/// datagrams), disk media failures (the Section 5.3 repair trigger), and
+/// NVRAM battery loss (Section 4.1's battery-backed CMOS dying).
+enum class FaultType {
+  kServerCrash,
+  kServerRestart,
+  kClientCrash,
+  kClientRestart,
+  kPartition,
+  kHealPartition,
+  kLinkDegrade,
+  kLinkRestore,
+  kDiskFail,
+  kNvramLoss,
+};
+
+/// Stable lower_snake name for `type` ("server_crash", ...): used in
+/// span names ("chaos.server_crash"), metric keys, and logs.
+std::string_view FaultTypeName(FaultType type);
+
+/// One scheduled fault. `at` is relative to the simulated time the plan
+/// is handed to ChaosController::Execute.
+struct FaultEvent {
+  sim::Duration at = 0;
+  FaultType type = FaultType::kServerCrash;
+  /// Server id (1..M) or client index (0..), per FaultTargets.
+  int target = 0;
+  /// Which network the partition/link event applies to.
+  int network = 0;
+  /// kPartition: the isolated node groups (nodes named in no group share
+  /// one implicit extra group).
+  std::vector<std::vector<net::NodeId>> groups;
+  /// kLinkDegrade / kLinkRestore: the directed link and its degradation.
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  net::LinkFault link;
+};
+
+/// A deterministic schedule of typed fault events, built fluently:
+///
+///   chaos::FaultPlan plan;
+///   plan.CrashServer(2 * sim::kSecond, 1)
+///       .Partition(3 * sim::kSecond, 0, {{1, 2}, {3, 1000}})
+///       .Heal(6 * sim::kSecond, 0)
+///       .RestartServer(8 * sim::kSecond, 1);
+///
+/// The plan itself is passive data; ChaosController executes it on the
+/// simulator clock. The same (seed, plan) pair always reproduces the
+/// same run byte for byte.
+class FaultPlan {
+ public:
+  FaultPlan& Add(FaultEvent event);
+
+  FaultPlan& CrashServer(sim::Duration at, int server);
+  FaultPlan& RestartServer(sim::Duration at, int server);
+  FaultPlan& CrashClient(sim::Duration at, int client_index);
+  FaultPlan& RestartClient(sim::Duration at, int client_index);
+  FaultPlan& Partition(sim::Duration at, int network,
+                       std::vector<std::vector<net::NodeId>> groups);
+  FaultPlan& Heal(sim::Duration at, int network);
+  FaultPlan& DegradeLink(sim::Duration at, int network, net::NodeId src,
+                         net::NodeId dst, net::LinkFault fault);
+  FaultPlan& RestoreLink(sim::Duration at, int network, net::NodeId src,
+                         net::NodeId dst);
+  FaultPlan& FailDisk(sim::Duration at, int server);
+  FaultPlan& LoseNvram(sim::Duration at, int server);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace dlog::chaos
+
+#endif  // DLOG_CHAOS_FAULT_PLAN_H_

@@ -1,0 +1,43 @@
+#ifndef DLOG_CHAOS_TARGETS_H_
+#define DLOG_CHAOS_TARGETS_H_
+
+#include "net/network.h"
+
+namespace dlog::chaos {
+
+/// What a ChaosController can injure. harness::Cluster implements this
+/// interface; the indirection keeps chaos below harness in the layering
+/// (chaos depends only on sim/net/obs), while the Cluster stays the one
+/// owner of server/client lifecycles.
+///
+/// Id conventions match the harness: servers are 1..num_servers() (the
+/// paper's figures), clients are 0..num_clients()-1 (AddClient order),
+/// networks are 0..num_networks()-1.
+class FaultTargets {
+ public:
+  virtual ~FaultTargets() = default;
+
+  virtual int num_servers() const = 0;
+  virtual bool ServerUp(int server) const = 0;
+  virtual void CrashServer(int server) = 0;
+  virtual void RestartServer(int server) = 0;
+  /// Disk media failure (Section 5.3 repair trigger); the node stays
+  /// down until RestartServer.
+  virtual void FailServerDisk(int server) = 0;
+  /// NVRAM battery loss; the node stays down until RestartServer.
+  virtual void LoseServerNvram(int server) = 0;
+
+  virtual int num_clients() const = 0;
+  virtual bool ClientUp(int client) const = 0;
+  virtual void CrashClient(int client) = 0;
+  /// Rebuilds the crashed client with its original identity; the caller
+  /// (or the workload) runs Init() to re-enter the log.
+  virtual void RestartClient(int client) = 0;
+
+  virtual int num_networks() const = 0;
+  virtual net::Network& network(int i) = 0;
+};
+
+}  // namespace dlog::chaos
+
+#endif  // DLOG_CHAOS_TARGETS_H_

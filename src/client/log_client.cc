@@ -39,10 +39,43 @@ struct LogClient::InitState {
   bool finished = false;
 };
 
+Status LogClientConfig::Validate() const {
+  if (copies < 1) return Status::InvalidArgument("copies must be >= 1");
+  if (servers.size() < static_cast<size_t>(copies)) {
+    return Status::InvalidArgument(
+        "need at least `copies` servers (N <= M)");
+  }
+  if (cpu_mips <= 0) {
+    return Status::InvalidArgument("cpu_mips must be > 0");
+  }
+  if (nic_ring_slots == 0) {
+    return Status::InvalidArgument("nic_ring_slots must be > 0");
+  }
+  if (mtu_payload == 0) {
+    return Status::InvalidArgument("mtu_payload must be > 0");
+  }
+  if (delta == 0) {
+    return Status::InvalidArgument(
+        "delta must be > 0 (no unacknowledged records means no grouping)");
+  }
+  if (force_timeout <= 0) {
+    return Status::InvalidArgument("force_timeout must be > 0");
+  }
+  if (force_retries < 1) {
+    return Status::InvalidArgument("force_retries must be >= 1");
+  }
+  if (rpc_timeout <= 0) {
+    return Status::InvalidArgument("rpc_timeout must be > 0");
+  }
+  if (rpc_attempts < 1) {
+    return Status::InvalidArgument("rpc_attempts must be >= 1");
+  }
+  return Status::OK();
+}
+
 LogClient::LogClient(sim::Simulator* sim, const LogClientConfig& config)
     : sim_(sim), config_(config), rng_(config.seed) {
-  assert(config_.copies >= 1);
-  assert(config_.servers.size() >= static_cast<size_t>(config_.copies));
+  DLOG_CHECK_OK(config.Validate());
   if (config_.generator_reps.empty()) {
     const size_t reps = std::min<size_t>(3, config_.servers.size());
     config_.generator_reps.assign(config_.servers.begin(),

@@ -74,6 +74,11 @@ struct LogClientConfig {
   bool multicast_writes = false;
   uint64_t seed = 1;
   wire::WireConfig wire;
+
+  /// OK iff the configuration can drive the protocol: at least one copy,
+  /// `servers.size() >= copies`, nonzero δ and packing budget, positive
+  /// timeouts/attempt counts, ...
+  Status Validate() const;
 };
 
 /// The asynchronous replicated-log client (Sections 3.1.2 + 4.2): buffers
@@ -141,10 +146,20 @@ class LogClient {
 
   /// Crashes the node: every volatile structure (buffers, view, epoch,
   /// connections) is lost. A crashed client is dead; construct a new
-  /// LogClient with the same ids and Init() it to model the restart.
+  /// LogClient with the same ids and Init() it to model the restart
+  /// (harness::Cluster::RestartClient does exactly that).
   void Crash();
 
+  /// False once Crash() has run: the node is powered off until replaced.
+  bool IsUp() const { return !crashed_; }
+
   ClientId client_id() const { return config_.client_id; }
+
+  /// The wire incarnation this node is running as. Survives crashes only
+  /// via whoever rebuilds the node: a replacement LogClient must be given
+  /// `config.wire.initial_incarnation > wire_incarnation()` or its
+  /// connection ids collide with ones the servers still hold.
+  uint64_t wire_incarnation() const { return endpoint_->incarnation(); }
 
   // --- Observability ---
   /// Attaches the shared causal tracer. Records opened while a context is

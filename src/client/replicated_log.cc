@@ -104,9 +104,7 @@ Status ReplicatedLog::Init() {
 
   // "It must also obtain a new epoch number ... higher than any other
   // epoch number used during the previous operation of this client."
-  Result<uint64_t> new_epoch = generator_->NewId();
-  if (!new_epoch.ok()) return new_epoch.status();
-  epoch_ = *new_epoch;
+  DLOG_ASSIGN_OR_RETURN(epoch_, generator_->NewId());
   if (view_.MaxEpoch().has_value() && epoch_ <= *view_.MaxEpoch()) {
     return Status::Internal(
         "generator issued an epoch not above the log's epochs");

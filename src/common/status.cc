@@ -1,6 +1,21 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace dlog {
+
+namespace internal {
+
+void CheckOkOrDie(const Status& st, const char* expr, const char* file,
+                  int line) {
+  if (st.ok()) return;
+  std::fprintf(stderr, "%s:%d: DLOG_CHECK_OK(%s) failed: %s\n", file, line,
+               expr, st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {

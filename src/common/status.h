@@ -103,6 +103,19 @@ inline bool operator==(const Status& a, const Status& b) {
     if (!_st.ok()) return _st;                \
   } while (0)
 
+namespace internal {
+/// Prints `st` with source context and aborts when it is not OK. Backs
+/// DLOG_CHECK_OK; out of line so the header stays light.
+void CheckOkOrDie(const Status& st, const char* expr, const char* file,
+                  int line);
+}  // namespace internal
+
+/// Aborts (with the status message) when `expr` is not OK. dlog has no
+/// exceptions, so constructors use this to enforce Validate()d configs:
+/// a bad config is a programming error, not a runtime condition.
+#define DLOG_CHECK_OK(expr) \
+  ::dlog::internal::CheckOkOrDie((expr), #expr, __FILE__, __LINE__)
+
 }  // namespace dlog
 
 #endif  // DLOG_COMMON_STATUS_H_

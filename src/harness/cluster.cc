@@ -1,9 +1,27 @@
 #include "harness/cluster.h"
 
+#include <string>
+#include <utility>
+
 namespace dlog::harness {
+
+Status ClusterConfig::Validate() const {
+  if (num_servers < 1) {
+    return Status::InvalidArgument("num_servers must be >= 1");
+  }
+  if (num_networks < 1) {
+    return Status::InvalidArgument("num_networks must be >= 1");
+  }
+  DLOG_RETURN_IF_ERROR(network.Validate());
+  // The per-server template is validated with its node_id already
+  // overwritten, so a zero id in the template is fine.
+  DLOG_RETURN_IF_ERROR(server.Validate());
+  return Status::OK();
+}
 
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config), tracer_(&sim_) {
+  DLOG_CHECK_OK(config.Validate());
   tracer_.set_enabled(config.tracing);
   for (int i = 0; i < config.num_networks; ++i) {
     net::NetworkConfig net_cfg = config.network;
@@ -19,6 +37,9 @@ Cluster::Cluster(const ClusterConfig& config)
     server->RegisterMetrics(&metrics_);
     servers_.push_back(std::move(server));
   }
+  chaos_ = std::make_unique<chaos::ChaosController>(&sim_, this);
+  chaos_->SetTracer(&tracer_);
+  chaos_->RegisterMetrics(&metrics_);
 }
 
 std::vector<net::NodeId> Cluster::server_ids() const {
@@ -29,18 +50,51 @@ std::vector<net::NodeId> Cluster::server_ids() const {
   return ids;
 }
 
-std::unique_ptr<client::LogClient> Cluster::MakeClient(
-    client::LogClientConfig config) {
+std::unique_ptr<client::LogClient> Cluster::BuildClient(
+    const client::LogClientConfig& config) {
+  auto node = std::make_unique<client::LogClient>(&sim_, config);
+  for (auto& network : networks_) node->AttachNetwork(network.get());
+  node->SetTracer(&tracer_);
+  node->RegisterMetrics(&metrics_);
+  return node;
+}
+
+ClientHandle Cluster::AddClient(client::LogClientConfig config) {
   if (config.servers.empty()) config.servers = server_ids();
   if (config.node_id == 1000 || config.node_id == 0) {
     config.node_id = next_client_node_;
   }
   ++next_client_node_;
-  auto log_client = std::make_unique<client::LogClient>(&sim_, config);
-  for (auto& network : networks_) log_client->AttachNetwork(network.get());
-  log_client->SetTracer(&tracer_);
-  log_client->RegisterMetrics(&metrics_);
-  return log_client;
+  DLOG_CHECK_OK(config.Validate());
+  ClientSlot slot;
+  slot.config = config;
+  slot.node = BuildClient(config);
+  clients_.push_back(std::move(slot));
+  return ClientHandle(this, static_cast<int>(clients_.size()) - 1);
+}
+
+void Cluster::CrashClient(int index) {
+  clients_[index].node->Crash();
+}
+
+void Cluster::RestartClient(int index) {
+  ClientSlot& slot = clients_[index];
+  // Crash() detaches the NICs; without it the node_id would still be
+  // claimed on every network when the replacement attaches.
+  if (slot.node->IsUp()) slot.node->Crash();
+  // The cluster plays the role of the client's stable-storage incarnation
+  // cell (Section 2's per-node stable counter): the replacement must run
+  // as a strictly higher incarnation, or its connection ids would collide
+  // with connections the servers still hold from the previous life and
+  // its handshakes would be answered with stale state.
+  slot.config.wire.initial_incarnation = slot.node->wire_incarnation() + 1;
+  // The registry holds pointers into the old incarnation's counters;
+  // drop them before the node dies, then let the replacement re-register
+  // under the same names (its identity is unchanged).
+  metrics_.UnregisterPrefix(
+      "client-" + std::to_string(slot.config.client_id) + "/log/");
+  slot.node.reset();
+  slot.node = BuildClient(slot.config);
 }
 
 bool Cluster::RunUntil(std::function<bool()> fn, sim::Duration timeout) {

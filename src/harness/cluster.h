@@ -4,7 +4,10 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/controller.h"
+#include "chaos/targets.h"
 #include "client/log_client.h"
+#include "common/status.h"
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -12,6 +15,35 @@
 #include "sim/simulator.h"
 
 namespace dlog::harness {
+
+class Cluster;
+
+/// A stable reference to a Cluster-owned client. Copyable and cheap; it
+/// resolves through the Cluster on every use, so it stays valid across
+/// CrashClient/RestartClient (which replace the underlying LogClient
+/// object while preserving its identity). Dereferencing a handle whose
+/// client is crashed returns the dead node: calls on it fail the way
+/// calls into a powered-off machine do.
+class ClientHandle {
+ public:
+  ClientHandle() = default;
+
+  client::LogClient& operator*() const;
+  client::LogClient* operator->() const;
+  client::LogClient* get() const;
+  explicit operator bool() const { return cluster_ != nullptr; }
+
+  /// AddClient order, 0-based: the id chaos::FaultPlan client events use.
+  int index() const { return index_; }
+
+ private:
+  friend class Cluster;
+  ClientHandle(Cluster* cluster, int index)
+      : cluster_(cluster), index_(index) {}
+
+  Cluster* cluster_ = nullptr;
+  int index_ = 0;
+};
 
 /// Configuration for a simulated deployment: M log servers on one or two
 /// local networks, plus any number of client nodes created afterwards.
@@ -28,12 +60,21 @@ struct ClusterConfig {
   /// default: bulk experiments should not accumulate span memory.
   bool tracing = false;
   uint64_t seed = 1;
+
+  /// OK iff the deployment is constructible (at least one server and
+  /// network, valid server/network templates).
+  Status Validate() const;
 };
 
-/// Owns a Simulator, the networks, and the log server nodes of one
-/// experiment. Client nodes are created on demand and wired to every
-/// network. Server node ids are 1..M; client node ids start at 1000.
-class Cluster {
+/// Owns a Simulator, the networks, the log server nodes, the client
+/// nodes, and a chaos::ChaosController for one experiment. Server node
+/// ids are 1..M; client node ids start at 1000.
+///
+/// Clients are owned by the cluster: AddClient returns a ClientHandle,
+/// and CrashClient/RestartClient cycle the node while preserving its
+/// client_id, node_id, and metric registrations — the lifecycle
+/// chaos::FaultPlan client events drive.
+class Cluster : public chaos::FaultTargets {
  public:
   explicit Cluster(const ClusterConfig& config);
 
@@ -41,27 +82,74 @@ class Cluster {
   Cluster& operator=(const Cluster&) = delete;
 
   sim::Simulator& sim() { return sim_; }
-  net::Network& network(int i = 0) { return *networks_[i]; }
-  int num_networks() const { return static_cast<int>(networks_.size()); }
+  net::Network& network(int i = 0) override { return *networks_[i]; }
+  int num_networks() const override {
+    return static_cast<int>(networks_.size());
+  }
 
   /// The cluster-wide causal tracer (recording only when
   /// ClusterConfig::tracing is set) and the unified metrics registry.
-  /// Every server registers its metrics here at construction; clients
-  /// made by MakeClient register theirs too and must either outlive any
-  /// snapshotting or be removed with metrics().UnregisterPrefix.
+  /// Servers, clients, and the chaos controller register their metrics
+  /// here for their whole lifetime.
   obs::Tracer& tracer() { return tracer_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
 
+  /// Injects scheduled or Markov-sampled faults into this cluster.
+  chaos::ChaosController& chaos() { return *chaos_; }
+
   /// 1-based server access matching the paper's figures.
   server::LogServer& server(int id) { return *servers_[id - 1]; }
-  int num_servers() const { return static_cast<int>(servers_.size()); }
+  int num_servers() const override {
+    return static_cast<int>(servers_.size());
+  }
   std::vector<net::NodeId> server_ids() const;
 
-  /// Creates a client attached to every network. `config.servers` and
-  /// `config.node_id` are filled in automatically (node ids 1000, 1001,
-  /// ... in creation order) unless already set.
-  std::unique_ptr<client::LogClient> MakeClient(
-      client::LogClientConfig config = {});
+  /// Creates a cluster-owned client attached to every network.
+  /// `config.servers` and `config.node_id` are filled in automatically
+  /// (node ids 1000, 1001, ... in creation order) unless already set.
+  ClientHandle AddClient(client::LogClientConfig config = {});
+
+  /// The client behind a handle / at an AddClient index.
+  client::LogClient& client(const ClientHandle& handle) {
+    return client(handle.index());
+  }
+  client::LogClient& client(int index) { return *clients_[index].node; }
+  int num_clients() const override {
+    return static_cast<int>(clients_.size());
+  }
+
+  /// Crashes the client: volatile state is lost, its NICs detach. The
+  /// handle stays valid but the node is dead until RestartClient.
+  void CrashClient(int index) override;
+  void CrashClient(const ClientHandle& handle) {
+    CrashClient(handle.index());
+  }
+
+  /// Reconstructs a crashed client with its original configuration
+  /// (same client_id, node_id, seed) and re-registers its metrics.
+  /// Callers run Init() on it to re-enter the log (Section 3.1.2).
+  void RestartClient(int index) override;
+  void RestartClient(const ClientHandle& handle) {
+    RestartClient(handle.index());
+  }
+
+  // --- chaos::FaultTargets (server/client state for the controller) ---
+  bool ServerUp(int server) const override {
+    return servers_[server - 1]->IsUp();
+  }
+  void CrashServer(int server) override { servers_[server - 1]->Crash(); }
+  void RestartServer(int server) override {
+    servers_[server - 1]->Restart();
+  }
+  void FailServerDisk(int server) override {
+    servers_[server - 1]->FailDisk();
+  }
+  void LoseServerNvram(int server) override {
+    servers_[server - 1]->LoseNvram();
+  }
+  bool ClientUp(int index) const override {
+    return clients_[index].node != nullptr && clients_[index].node->IsUp();
+  }
 
   /// Runs the simulator until `fn` returns true or `timeout` elapses;
   /// returns whether the predicate held.
@@ -69,6 +157,17 @@ class Cluster {
                 sim::Duration timeout = 30 * sim::kSecond);
 
  private:
+  struct ClientSlot {
+    /// The fully resolved configuration (servers + node_id filled), kept
+    /// so RestartClient reconstructs an identical node.
+    client::LogClientConfig config;
+    std::unique_ptr<client::LogClient> node;
+  };
+
+  /// Builds, wires, and registers a LogClient from a resolved config.
+  std::unique_ptr<client::LogClient> BuildClient(
+      const client::LogClientConfig& config);
+
   sim::Simulator sim_;
   ClusterConfig config_;
   /// Declared before the nodes that hold pointers into them.
@@ -76,8 +175,20 @@ class Cluster {
   obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<net::Network>> networks_;
   std::vector<std::unique_ptr<server::LogServer>> servers_;
+  std::vector<ClientSlot> clients_;
+  std::unique_ptr<chaos::ChaosController> chaos_;
   net::NodeId next_client_node_ = 1000;
 };
+
+inline client::LogClient& ClientHandle::operator*() const {
+  return cluster_->client(index_);
+}
+inline client::LogClient* ClientHandle::operator->() const {
+  return &cluster_->client(index_);
+}
+inline client::LogClient* ClientHandle::get() const {
+  return &cluster_->client(index_);
+}
 
 }  // namespace dlog::harness
 

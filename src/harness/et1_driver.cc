@@ -7,7 +7,7 @@ namespace dlog::harness {
 Et1Driver::Et1Driver(Cluster* cluster, client::LogClientConfig log_config,
                      const Et1DriverConfig& config)
     : cluster_(cluster), config_(config), rng_(config.seed) {
-  log_ = cluster->MakeClient(log_config);
+  log_ = cluster->AddClient(log_config);
   logger_ = std::make_unique<tp::ReplicatedTxnLogger>(log_.get());
   page_disk_ = std::make_unique<tp::PageDisk>(config.engine.page_bytes);
   engine_ = std::make_unique<tp::TransactionEngine>(
@@ -24,9 +24,11 @@ Et1Driver::Et1Driver(Cluster* cluster, client::LogClientConfig log_config,
 
 Et1Driver::~Et1Driver() {
   stopped_ = true;
-  // The registry outlives this driver; drop its pointers into the engine,
-  // client, and histogram before they die.
-  cluster_->metrics().UnregisterPrefix(trace_node_ + "/");
+  // The registry outlives this driver; drop its pointers into the engine
+  // and histogram before they die. The log client is cluster-owned and
+  // keeps its "client-<id>/log/" metrics registered.
+  cluster_->metrics().UnregisterPrefix(trace_node_ + "/tp/");
+  cluster_->metrics().UnregisterPrefix(trace_node_ + "/driver/");
 }
 
 void Et1Driver::Start() {

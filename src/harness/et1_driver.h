@@ -60,7 +60,8 @@ class Et1Driver {
   /// "client-<id>": names this node in traces and metric paths.
   std::string trace_node_;
   Rng rng_;
-  std::unique_ptr<client::LogClient> log_;
+  /// The cluster-owned replicated-log client this node drives.
+  ClientHandle log_;
   std::unique_ptr<tp::ReplicatedTxnLogger> logger_;
   std::unique_ptr<tp::PageDisk> page_disk_;
   std::unique_ptr<tp::TransactionEngine> engine_;

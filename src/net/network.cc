@@ -5,9 +5,26 @@
 
 namespace dlog::net {
 
+Status NetworkConfig::Validate() const {
+  if (bandwidth_bits_per_sec <= 0) {
+    return Status::InvalidArgument("bandwidth_bits_per_sec must be > 0");
+  }
+  if (loss_probability < 0 || loss_probability > 1) {
+    return Status::InvalidArgument("loss_probability must be in [0, 1]");
+  }
+  if (duplicate_probability < 0 || duplicate_probability > 1) {
+    return Status::InvalidArgument(
+        "duplicate_probability must be in [0, 1]");
+  }
+  if (mtu_bytes == 0) {
+    return Status::InvalidArgument("mtu_bytes must be > 0");
+  }
+  return Status::OK();
+}
+
 Network::Network(sim::Simulator* sim, const NetworkConfig& config)
     : sim_(sim), config_(config), rng_(config.seed) {
-  assert(config.bandwidth_bits_per_sec > 0);
+  DLOG_CHECK_OK(config.Validate());
 }
 
 void Network::Attach(NodeId id, Nic* nic) {
@@ -58,12 +75,61 @@ void Network::Send(const Packet& packet) {
   }
 }
 
+void Network::SetPartition(const std::vector<std::vector<NodeId>>& groups) {
+  partition_group_.clear();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId node : groups[g]) {
+      partition_group_[node] = static_cast<int>(g);
+    }
+  }
+  partition_active_ = true;
+}
+
+void Network::HealPartition() {
+  partition_active_ = false;
+  partition_group_.clear();
+}
+
+bool Network::Partitioned(NodeId a, NodeId b) const {
+  if (!partition_active_) return false;
+  auto group_of = [this](NodeId node) {
+    auto it = partition_group_.find(node);
+    return it == partition_group_.end() ? -1 : it->second;
+  };
+  return group_of(a) != group_of(b);
+}
+
+void Network::SetLinkFault(NodeId src, NodeId dst, const LinkFault& fault) {
+  link_faults_[{src, dst}] = fault;
+}
+
+void Network::ClearLinkFault(NodeId src, NodeId dst) {
+  link_faults_.erase({src, dst});
+}
+
+void Network::ClearLinkFaults() { link_faults_.clear(); }
+
 void Network::DeliverTo(NodeId dst, const Packet& packet,
                         sim::Time arrival) {
+  if (Partitioned(packet.src, dst)) {
+    packets_partition_dropped_.Increment();
+    return;
+  }
   auto it = nodes_.find(dst);
   if (it == nodes_.end()) {
     packets_lost_.Increment();
     return;
+  }
+  if (!link_faults_.empty()) {
+    auto fault = link_faults_.find({packet.src, dst});
+    if (fault != link_faults_.end()) {
+      if (fault->second.extra_loss > 0 &&
+          rng_.Bernoulli(fault->second.extra_loss)) {
+        packets_lost_.Increment();
+        return;
+      }
+      arrival += fault->second.extra_latency;
+    }
   }
   int copies = 1;
   if (config_.loss_probability > 0 &&

@@ -7,9 +7,11 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -30,6 +32,18 @@ struct NetworkConfig {
   size_t header_bytes = 32;               // link + protocol header overhead
   size_t mtu_bytes = 1500;                // maximum payload size
   uint64_t seed = 1;                      // drives loss/duplication draws
+
+  /// OK iff the configuration describes a usable network (positive
+  /// bandwidth, nonzero MTU, probabilities in [0, 1], ...).
+  Status Validate() const;
+};
+
+/// Degradation applied to one directed src->dst link while a fault is
+/// injected (chaos::FaultType::kLinkDegrade): extra independent loss on
+/// top of NetworkConfig::loss_probability, and extra one-way latency.
+struct LinkFault {
+  double extra_loss = 0.0;
+  sim::Duration extra_latency = 0;
 };
 
 /// A shared-medium local network: one transmission at a time (like an
@@ -63,6 +77,24 @@ class Network {
   /// programming error at the wire layer and are dropped with a count.
   void Send(const Packet& packet);
 
+  /// Splits the network: nodes in different groups cannot exchange
+  /// packets (delivery is silently filtered, like a failed bridge
+  /// between segments). Nodes named in no group share one implicit
+  /// extra group. Replaces any previous partition.
+  void SetPartition(const std::vector<std::vector<NodeId>>& groups);
+  /// Removes the partition: full connectivity again.
+  void HealPartition();
+  bool HasPartition() const { return partition_active_; }
+  /// True when a partition is active and separates `a` from `b`.
+  bool Partitioned(NodeId a, NodeId b) const;
+
+  /// Installs (or replaces) a fault on the directed link src->dst.
+  /// Delivered packets on that link suffer `extra_loss` on top of the
+  /// configured loss probability and arrive `extra_latency` later.
+  void SetLinkFault(NodeId src, NodeId dst, const LinkFault& fault);
+  void ClearLinkFault(NodeId src, NodeId dst);
+  void ClearLinkFaults();
+
   const NetworkConfig& config() const { return config_; }
 
   /// Total payload+header bits accepted for transmission.
@@ -74,6 +106,9 @@ class Network {
   sim::Counter& packets_delivered() { return packets_delivered_; }
   sim::Counter& packets_lost() { return packets_lost_; }
   sim::Counter& packets_oversized() { return packets_oversized_; }
+  sim::Counter& packets_partition_dropped() {
+    return packets_partition_dropped_;
+  }
 
  private:
   void DeliverTo(NodeId dst, const Packet& packet, sim::Time arrival);
@@ -83,6 +118,12 @@ class Network {
   Rng rng_;
   std::map<NodeId, Nic*> nodes_;
   std::map<NodeId, std::set<NodeId>> groups_;
+  /// Partition state: group index per named node; unnamed nodes share
+  /// the implicit group -1.
+  bool partition_active_ = false;
+  std::map<NodeId, int> partition_group_;
+  /// Directed-link degradations, keyed src->dst.
+  std::map<std::pair<NodeId, NodeId>, LinkFault> link_faults_;
   sim::Time medium_free_at_ = 0;
   uint64_t bits_sent_ = 0;
   sim::Time start_time_ = 0;
@@ -90,6 +131,7 @@ class Network {
   sim::Counter packets_delivered_;
   sim::Counter packets_lost_;
   sim::Counter packets_oversized_;
+  sim::Counter packets_partition_dropped_;
 };
 
 /// A network interface with a finite receive ring. Section 4.1: "Log

@@ -6,8 +6,36 @@
 
 namespace dlog::server {
 
+Status LogServerConfig::Validate() const {
+  if (cpu_mips <= 0) {
+    return Status::InvalidArgument("cpu_mips must be > 0");
+  }
+  if (nic_ring_slots == 0) {
+    return Status::InvalidArgument("nic_ring_slots must be > 0");
+  }
+  DLOG_RETURN_IF_ERROR(disk.Validate());
+  if (nvram_bytes == 0) {
+    return Status::InvalidArgument("nvram_bytes must be > 0");
+  }
+  if (flush_interval <= 0) {
+    return Status::InvalidArgument("flush_interval must be > 0");
+  }
+  if (shed_nvram_fraction <= 0 || shed_nvram_fraction > 1) {
+    return Status::InvalidArgument(
+        "shed_nvram_fraction must be in (0, 1]");
+  }
+  if (max_pending_per_client == 0) {
+    return Status::InvalidArgument("max_pending_per_client must be > 0");
+  }
+  if (read_reply_budget_bytes == 0) {
+    return Status::InvalidArgument("read_reply_budget_bytes must be > 0");
+  }
+  return Status::OK();
+}
+
 LogServer::LogServer(sim::Simulator* sim, const LogServerConfig& config)
     : sim_(sim), config_(config) {
+  DLOG_CHECK_OK(config.Validate());
   cpu_ = std::make_unique<sim::Cpu>(sim, config.cpu_mips, "server-cpu");
   endpoint_ = std::make_unique<wire::Endpoint>(sim, cpu_.get(),
                                                config.node_id, config.wire);
@@ -678,11 +706,20 @@ void LogServer::Crash() {
 }
 
 void LogServer::WipeStorage() {
+  // The whole node is lost: both stable media fail together. Quorum
+  // intersection tolerates a minority of generator representatives
+  // losing state.
+  FailDisk();
+  LoseNvram();
+}
+
+void LogServer::FailDisk() {
   Crash();
   disk_->WipeMedia();
-  // The battery-backed buffer and hosted generator representatives are
-  // part of the lost node; quorum intersection tolerates a minority of
-  // representatives losing state.
+}
+
+void LogServer::LoseNvram() {
+  Crash();
   nvram_buffer_ = std::make_unique<storage::NvramQueue>(config_.nvram_bytes);
   NoteNvramLevel();
   truncate_marks_.clear();

@@ -60,6 +60,11 @@ struct LogServerConfig {
   /// Max payload bytes packed into a ReadLogForward/Backward response.
   size_t read_reply_budget_bytes = 1200;
   wire::WireConfig wire;
+
+  /// OK iff the configuration describes a runnable server (positive CPU,
+  /// nonzero NIC ring, NVRAM at least one track, valid disk geometry,
+  /// shed fraction in (0, 1], ...).
+  Status Validate() const;
 };
 
 /// A log server node: NICs, CPU, NVRAM group buffer, one logging disk,
@@ -98,6 +103,19 @@ class LogServer {
   /// of a log when one redundant copy is lost"). Call Restart() after.
   void WipeStorage();
 
+  /// Media failure of the disk alone (a head crash): the node crashes and
+  /// its disk contents are destroyed, but the battery-backed NVRAM — a
+  /// separate device — keeps the group buffer, truncation marks, and
+  /// generator representatives. The Section 5.3 repair trigger.
+  void FailDisk();
+
+  /// NVRAM battery loss: the node crashes and the group buffer, stable
+  /// truncation marks, and hosted generator representatives are gone;
+  /// disk-resident tracks survive. Records that were only in the buffer
+  /// lose this copy (clients still hold them on N-1 other servers or in
+  /// their own δ-bounded resend window).
+  void LoseNvram();
+
   bool IsUp() const { return up_; }
   net::NodeId id() const { return config_.node_id; }
 
@@ -130,6 +148,8 @@ class LogServer {
 
   sim::Cpu& cpu() { return *cpu_; }
   storage::SimDisk& disk() { return *disk_; }
+  /// The NIC attached to network `i` (AttachNetwork order).
+  net::Nic& nic(int i = 0) { return *nics_[i]; }
   sim::Counter& records_written() { return records_written_; }
   sim::Counter& forces_acked() { return forces_acked_; }
   sim::Counter& tracks_written() { return tracks_written_; }

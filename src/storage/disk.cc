@@ -6,10 +6,21 @@
 
 namespace dlog::storage {
 
+Status DiskConfig::Validate() const {
+  if (rpm <= 0) return Status::InvalidArgument("rpm must be > 0");
+  if (track_bytes == 0) {
+    return Status::InvalidArgument("track_bytes must be > 0");
+  }
+  if (num_tracks == 0) {
+    return Status::InvalidArgument("num_tracks must be > 0");
+  }
+  return Status::OK();
+}
+
 SimDisk::SimDisk(sim::Simulator* sim, const DiskConfig& config,
                  std::string name)
     : sim_(sim), config_(config), name_(std::move(name)) {
-  assert(config.rpm > 0);
+  DLOG_CHECK_OK(config.Validate());
 }
 
 sim::Duration SimDisk::RotationTime() const {

@@ -26,6 +26,9 @@ struct DiskConfig {
   /// Write-once (optical) mode: a track may be written exactly once
   /// (Section 4.3 requires data structures usable on optical storage).
   bool write_once = false;
+
+  /// OK iff the geometry is usable (positive rpm, nonzero tracks, ...).
+  Status Validate() const;
 };
 
 /// A simulated disk serving one request at a time in FIFO order. Writes

@@ -185,7 +185,11 @@ void Connection::Close() {
 
 Endpoint::Endpoint(sim::Simulator* sim, sim::Cpu* cpu, net::NodeId id,
                    const WireConfig& config)
-    : sim_(sim), cpu_(cpu), id_(id), config_(config) {}
+    : sim_(sim),
+      cpu_(cpu),
+      id_(id),
+      config_(config),
+      incarnation_(config.initial_incarnation) {}
 
 void Endpoint::AttachNetwork(net::Network* network, net::Nic* nic) {
   networks_.emplace_back(network, nic);

@@ -40,6 +40,14 @@ struct WireConfig {
   /// "Deadlocks are prevented by allowing either party to exceed its
   /// allocation, so long as it pauses several seconds between packets."
   sim::Duration allocation_override_delay = 3 * sim::kSecond;
+  /// The incarnation counter models a tiny stable-storage cell that
+  /// survives crashes: a node rebuilt after a crash must resume from a
+  /// strictly higher incarnation than any previous life, or its
+  /// connection ids would collide with connections its peers still hold
+  /// from before the crash. Whoever reconstructs the node (the harness
+  /// Cluster, for restarted clients) plays the role of that stable cell
+  /// by carrying `incarnation() + 1` forward into the new endpoint.
+  uint64_t initial_incarnation = 1;
 };
 
 class Endpoint;
@@ -170,6 +178,10 @@ class Endpoint {
   void Crash();
 
   net::NodeId id() const { return id_; }
+  /// Current incarnation (advanced by Crash()). A reconstructor that
+  /// wants packets from this life rejected must seed the replacement
+  /// endpoint's `WireConfig::initial_incarnation` past this value.
+  uint64_t incarnation() const { return incarnation_; }
   const WireConfig& config() const { return config_; }
   sim::Simulator* simulator() { return sim_; }
 
@@ -200,7 +212,7 @@ class Endpoint {
   sim::Cpu* cpu_;
   net::NodeId id_;
   WireConfig config_;
-  uint64_t incarnation_ = 1;  // survives crash (kept in stable storage)
+  uint64_t incarnation_;  // survives crash (kept in stable storage)
   uint64_t conn_counter_ = 0;
   size_t next_network_ = 0;
   std::vector<std::pair<net::Network*, net::Nic*>> networks_;

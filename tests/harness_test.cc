@@ -18,10 +18,13 @@ TEST(ClusterTest, ServersGetSequentialIds) {
   }
 }
 
-TEST(ClusterTest, MakeClientFillsServersAndNodeIds) {
+TEST(ClusterTest, AddClientFillsServersAndNodeIds) {
   Cluster cluster(ClusterConfig{});
-  auto a = cluster.MakeClient();
-  auto b = cluster.MakeClient();
+  ClientHandle a = cluster.AddClient();
+  ClientHandle b = cluster.AddClient();
+  EXPECT_EQ(cluster.num_clients(), 2);
+  EXPECT_EQ(a.index(), 0);
+  EXPECT_EQ(b.index(), 1);
   // Distinct auto-assigned node ids (no Attach collisions).
   bool ready = false;
   a->Init([&](Status st) { ready = st.ok(); });
@@ -29,6 +32,37 @@ TEST(ClusterTest, MakeClientFillsServersAndNodeIds) {
   ready = false;
   b->Init([&](Status st) { ready = st.ok(); });
   ASSERT_TRUE(cluster.RunUntil([&]() { return ready; }));
+}
+
+TEST(ClusterTest, RestartClientPreservesIdentityAndMetrics) {
+  Cluster cluster(ClusterConfig{});
+  client::LogClientConfig cfg;
+  cfg.client_id = 7;
+  ClientHandle c = cluster.AddClient(cfg);
+  bool ready = false;
+  c->Init([&](Status st) { ready = st.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return ready; }));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(c->WriteLog(ToBytes("x")).ok());
+
+  cluster.CrashClient(c);
+  EXPECT_FALSE(c->IsUp());
+  cluster.RestartClient(c);
+  EXPECT_TRUE(c->IsUp());
+  // A fresh node behind the same handle, same identity, metrics intact.
+  EXPECT_FALSE(c->IsInitialized());
+  EXPECT_EQ(c->client_id(), 7u);
+  const auto names = cluster.metrics().Names();
+  bool found = false;
+  for (const auto& n : names) {
+    if (n == "client-7/log/records_sent") found = true;
+  }
+  EXPECT_TRUE(found);
+
+  // The restarted node re-enters the log (Section 3.1.2) and can write.
+  ready = false;
+  c->Init([&](Status st) { ready = st.ok(); });
+  ASSERT_TRUE(cluster.RunUntil([&]() { return ready; }));
+  EXPECT_TRUE(c->WriteLog(ToBytes("y")).ok());
 }
 
 TEST(ClusterTest, RunUntilTimesOut) {
@@ -44,7 +78,7 @@ TEST(ClusterTest, DualNetworkConfiguration) {
   cfg.num_networks = 2;
   Cluster cluster(cfg);
   EXPECT_EQ(cluster.num_networks(), 2);
-  auto c = cluster.MakeClient();
+  ClientHandle c = cluster.AddClient();
   bool ready = false;
   c->Init([&](Status st) { ready = st.ok(); });
   ASSERT_TRUE(cluster.RunUntil([&]() { return ready; }));

@@ -29,14 +29,14 @@ Status InitSync(Cluster& cluster, client::LogClient& c) {
 
 TEST(LogClientTest, WriteBeforeInitFails) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   EXPECT_EQ(c->WriteLog(ToBytes("x")).status().code(),
             StatusCode::kFailedPrecondition);
 }
 
 TEST(LogClientTest, CrashedClientRejectsEverything) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitSync(cluster, *c).ok());
   c->Crash();
   EXPECT_TRUE(c->WriteLog(ToBytes("x")).status().IsAborted());
@@ -61,7 +61,7 @@ TEST(LogClientTest, DeltaBoundThrottlesUnackedSends) {
   cfg.delta = 4;
   cfg.force_timeout = 100 * sim::kMillisecond;
   cfg.force_retries = 1000;  // never switch (everyone sheds anyway)
-  auto c = cluster.MakeClient(cfg);
+  auto c = cluster.AddClient(cfg);
   ASSERT_TRUE(InitSync(cluster, *c).ok());
 
   Lsn last = kNoLsn;
@@ -88,7 +88,7 @@ TEST(LogClientTest, DeltaBoundThrottlesUnackedSends) {
 
 TEST(LogClientTest, UnforcedSmallWritesStayBuffered) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitSync(cluster, *c).ok());
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(c->WriteLog(ToBytes("small")).ok());
@@ -103,7 +103,7 @@ TEST(LogClientTest, FullPacketTriggersSendWithoutForce) {
   LogClientConfig cfg;
   cfg.client_id = 1;
   cfg.mtu_payload = 600;
-  auto c = cluster.MakeClient(cfg);
+  auto c = cluster.AddClient(cfg);
   ASSERT_TRUE(InitSync(cluster, *c).ok());
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(c->WriteLog(Bytes(200, 'x')).ok());
@@ -114,7 +114,7 @@ TEST(LogClientTest, FullPacketTriggersSendWithoutForce) {
 
 TEST(LogClientTest, EndOfLogCountsBufferedRecords) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitSync(cluster, *c).ok());
   EXPECT_EQ(c->EndOfLog(), kNoLsn);
   ASSERT_TRUE(c->WriteLog(ToBytes("a")).ok());
@@ -124,7 +124,7 @@ TEST(LogClientTest, EndOfLogCountsBufferedRecords) {
 
 TEST(LogClientTest, ReadCacheServesPackedNeighbors) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitSync(cluster, *c).ok());
   Lsn last = kNoLsn;
   for (int i = 0; i < 10; ++i) {
@@ -167,12 +167,12 @@ TEST(LogClientTest, RoundRobinPolicySpreadsInitialSets) {
   cluster_cfg.num_servers = 6;
   Cluster cluster(cluster_cfg);
   // Several round-robin clients: every server should store something.
-  std::vector<std::unique_ptr<client::LogClient>> clients;
+  std::vector<harness::ClientHandle> clients;
   for (int i = 0; i < 6; ++i) {
     LogClientConfig cfg;
     cfg.client_id = static_cast<ClientId>(i + 1);
     cfg.policy = SelectionPolicy::kRoundRobin;
-    clients.push_back(cluster.MakeClient(cfg));
+    clients.push_back(cluster.AddClient(cfg));
     ASSERT_TRUE(InitSync(cluster, *clients.back()).ok());
     Lsn lsn = *clients.back()->WriteLog(ToBytes("x"));
     bool done = false;
@@ -198,7 +198,7 @@ TEST(LogClientTest, InitUnavailableWithTooFewServers) {
   cfg.client_id = 1;
   cfg.rpc_timeout = 100 * sim::kMillisecond;
   cfg.rpc_attempts = 2;
-  auto c = cluster.MakeClient(cfg);
+  auto c = cluster.AddClient(cfg);
   Status st = InitSync(cluster, *c);
   EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
   // Bring one back: init succeeds on retry.
@@ -219,7 +219,7 @@ TEST(LogClientTest, GeneratorQuorumBlocksInit) {
   cfg.rpc_attempts = 2;
   cluster.server(1).Crash();
   cluster.server(2).Crash();
-  auto c = cluster.MakeClient(cfg);
+  auto c = cluster.AddClient(cfg);
   Status st = InitSync(cluster, *c);
   EXPECT_TRUE(st.IsUnavailable());
 }

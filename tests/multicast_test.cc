@@ -52,7 +52,7 @@ LogClientConfig McastConfig() {
 
 TEST(MulticastTest, RecordsReachAllWriteSetServers) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient(McastConfig());
+  auto c = cluster.AddClient(McastConfig());
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(WriteForced(cluster, *c, "m" + std::to_string(i)).ok());
@@ -73,7 +73,7 @@ TEST(MulticastTest, RecordsReachAllWriteSetServers) {
 
 TEST(MulticastTest, ReadBackMatches) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient(McastConfig());
+  auto c = cluster.AddClient(McastConfig());
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   std::map<Lsn, std::string> written;
   for (int i = 0; i < 20; ++i) {
@@ -102,7 +102,7 @@ TEST(MulticastTest, HalvesDataTrafficVersusUnicast) {
     LogClientConfig cfg;
     cfg.client_id = 1;
     cfg.multicast_writes = multicast;
-    auto c = cluster.MakeClient(cfg);
+    auto c = cluster.AddClient(cfg);
     EXPECT_TRUE(InitClient(cluster, *c).ok());
     const uint64_t bits_before = cluster.network().bits_sent();
     for (int i = 0; i < 40; ++i) {
@@ -138,7 +138,7 @@ TEST(MulticastTest, SurvivesWriteSetServerDeath) {
   LogClientConfig cfg = McastConfig();
   cfg.force_timeout = 100 * sim::kMillisecond;
   cfg.force_retries = 2;
-  auto c = cluster.MakeClient(cfg);
+  auto c = cluster.AddClient(cfg);
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   ASSERT_TRUE(WriteForced(cluster, *c, "warmup").ok());
 
@@ -170,7 +170,7 @@ TEST(MulticastTest, SurvivesWriteSetServerDeath) {
 TEST(MulticastTest, ClientRestartRecoversMulticastHistory) {
   Cluster cluster(ClusterConfig{});
   {
-    auto c = cluster.MakeClient(McastConfig());
+    auto c = cluster.AddClient(McastConfig());
     ASSERT_TRUE(InitClient(cluster, *c).ok());
     for (int i = 0; i < 5; ++i) {
       ASSERT_TRUE(WriteForced(cluster, *c, "h" + std::to_string(i)).ok());
@@ -179,7 +179,7 @@ TEST(MulticastTest, ClientRestartRecoversMulticastHistory) {
   }
   LogClientConfig cfg = McastConfig();
   cfg.node_id = 2000;
-  auto c2 = cluster.MakeClient(cfg);
+  auto c2 = cluster.AddClient(cfg);
   ASSERT_TRUE(InitClient(cluster, *c2).ok());
   for (Lsn lsn = 1; lsn <= 5; ++lsn) {
     Result<Bytes> r = Status::Internal("never");

@@ -20,7 +20,7 @@ struct Fixture {
   explicit Fixture(int servers = 4) : cluster(MakeConfig(servers)) {
     LogClientConfig cfg;
     cfg.client_id = 1;
-    log = cluster.MakeClient(cfg);
+    log = cluster.AddClient(cfg);
     bool ready = false;
     log->Init([&](Status st) { ready = st.ok(); });
     cluster.RunUntil([&]() { return ready; });
@@ -84,7 +84,7 @@ struct Fixture {
   }
 
   Cluster cluster;
-  std::unique_ptr<client::LogClient> log;
+  harness::ClientHandle log;
 };
 
 TEST(RepairTest, NoopWhenFullyReplicated) {
@@ -144,11 +144,9 @@ TEST(RepairTest, SurvivesSubsequentLossOfOriginalHolder) {
     EXPECT_GE(f.HoldersOf(lsn), 1) << "lsn " << lsn;
   }
   // A fresh client recovers the full log from the repaired copies.
-  f.log->Crash();
-  LogClientConfig cfg;
-  cfg.client_id = 1;
-  cfg.node_id = 2000;
-  auto log2 = f.cluster.MakeClient(cfg);
+  f.cluster.CrashClient(f.log);
+  f.cluster.RestartClient(f.log);
+  auto log2 = f.log;
   bool ready = false;
   for (int attempt = 0; attempt < 5 && !ready; ++attempt) {
     bool done = false;

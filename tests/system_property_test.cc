@@ -38,7 +38,7 @@ TEST_P(SystemFaultProperty, ForcedRecordsSurviveServerChurn) {
   ccfg.force_retries = 2;
   ccfg.server_retry_backoff = 2 * sim::kSecond;
   ccfg.seed = seed;
-  auto c = cluster.MakeClient(ccfg);
+  auto c = cluster.AddClient(ccfg);
 
   bool ready = false;
   c->Init([&](Status st) { ready = st.ok(); });
@@ -127,7 +127,7 @@ TEST_P(ClientRestartProperty, ForcedHistorySurvivesRestarts) {
     ccfg.client_id = 9;
     ccfg.node_id = 1000 + life;
     ccfg.seed = seed * 10 + life;
-    auto c = cluster.MakeClient(ccfg);
+    auto c = cluster.AddClient(ccfg);
     bool ready = false;
     Status init_st;
     for (int attempt = 0; attempt < 5 && !ready; ++attempt) {

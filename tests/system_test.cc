@@ -58,7 +58,7 @@ Result<Bytes> ReadSync(Cluster& cluster, LogClient& log_client, Lsn lsn) {
 
 TEST(SystemTest, InitOnEmptyLog) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   EXPECT_TRUE(InitClient(cluster, *c).ok());
   EXPECT_TRUE(c->IsInitialized());
   EXPECT_EQ(c->current_epoch(), 1u);
@@ -67,7 +67,7 @@ TEST(SystemTest, InitOnEmptyLog) {
 
 TEST(SystemTest, WriteForceRead) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitClient(cluster, *c).ok());
 
   Result<Lsn> lsn1 = WriteForced(cluster, *c, "hello");
@@ -86,7 +86,7 @@ TEST(SystemTest, RecordsLandOnExactlyNServers) {
   ClusterConfig cfg;
   cfg.num_servers = 5;
   Cluster cluster(cfg);
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(WriteForced(cluster, *c, "r" + std::to_string(i)).ok());
@@ -107,7 +107,7 @@ TEST(SystemTest, RecordsLandOnExactlyNServers) {
 
 TEST(SystemTest, GroupingPacksManyRecordsPerBatch) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitClient(cluster, *c).ok());
 
   // Buffer 7 small records, force once: ET1-style grouping.
@@ -132,7 +132,7 @@ TEST(SystemTest, BufferedWritesReachDiskViaGroupBuffer) {
   ClusterConfig cfg;
   cfg.server.flush_interval = 20 * sim::kMillisecond;
   Cluster cluster(cfg);
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitClient(cluster, *c).ok());
 
   for (int i = 0; i < 200; ++i) {
@@ -156,7 +156,7 @@ TEST(SystemTest, BufferedWritesReachDiskViaGroupBuffer) {
 
 TEST(SystemTest, ServerCrashRestartPreservesAckedRecords) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   ASSERT_TRUE(WriteForced(cluster, *c, "durable").ok());
 
@@ -167,7 +167,7 @@ TEST(SystemTest, ServerCrashRestartPreservesAckedRecords) {
 
   // A fresh client (the old one's connections died) re-initializes and
   // reads the record back.
-  auto c2 = cluster.MakeClient();
+  auto c2 = cluster.AddClient();
   ASSERT_TRUE(InitClient(cluster, *c2).ok());
   Result<Bytes> r = ReadSync(cluster, *c2, 1);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -178,7 +178,7 @@ TEST(SystemTest, ClientRestartRecoversForcedRecords) {
   Cluster cluster(ClusterConfig{});
   LogClientConfig ccfg;
   ccfg.client_id = 7;
-  auto c = cluster.MakeClient(ccfg);
+  auto c = cluster.AddClient(ccfg);
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   const Epoch first_epoch = c->current_epoch();
   for (int i = 0; i < 5; ++i) {
@@ -187,12 +187,11 @@ TEST(SystemTest, ClientRestartRecoversForcedRecords) {
   // Two unforced records die with the client.
   ASSERT_TRUE(c->WriteLog(ToBytes("lost1")).ok());
   ASSERT_TRUE(c->WriteLog(ToBytes("lost2")).ok());
-  c->Crash();
+  cluster.CrashClient(c);
 
-  LogClientConfig ccfg2;
-  ccfg2.client_id = 7;
-  ccfg2.node_id = 2000;
-  auto c2 = cluster.MakeClient(ccfg2);
+  // The cluster-owned restart rebuilds the node with the same identity.
+  cluster.RestartClient(c);
+  auto c2 = c;
   ASSERT_TRUE(InitClient(cluster, *c2).ok());
   EXPECT_GT(c2->current_epoch(), first_epoch);
   for (Lsn lsn = 1; lsn <= 5; ++lsn) {
@@ -223,7 +222,7 @@ TEST(SystemTest, ForceCompletesDespiteWriteSetServerDeath) {
   LogClientConfig ccfg;
   ccfg.force_timeout = 100 * sim::kMillisecond;
   ccfg.force_retries = 2;
-  auto c = cluster.MakeClient(ccfg);
+  auto c = cluster.AddClient(ccfg);
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   ASSERT_TRUE(WriteForced(cluster, *c, "warmup").ok());
 
@@ -272,7 +271,7 @@ TEST(SystemTest, LossyNetworkEndToEnd) {
   Cluster cluster(cfg);
   LogClientConfig ccfg;
   ccfg.force_timeout = 100 * sim::kMillisecond;
-  auto c = cluster.MakeClient(ccfg);
+  auto c = cluster.AddClient(ccfg);
   ASSERT_TRUE(InitClient(cluster, *c).ok());
 
   std::map<Lsn, std::string> written;
@@ -297,7 +296,7 @@ TEST(SystemTest, DualNetworkSurvivesOneNetworkOutage) {
   Cluster cluster(cfg);
   LogClientConfig ccfg;
   ccfg.force_timeout = 100 * sim::kMillisecond;
-  auto c = cluster.MakeClient(ccfg);
+  auto c = cluster.AddClient(ccfg);
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   ASSERT_TRUE(WriteForced(cluster, *c, "two nets").ok());
   // Both networks carried traffic (round-robin).
@@ -309,7 +308,7 @@ TEST(SystemTest, IntervalListsStayShortUnderStickyWrites) {
   ClusterConfig cfg;
   cfg.num_servers = 5;
   Cluster cluster(cfg);
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(c->WriteLog(ToBytes("x")).ok());
@@ -327,17 +326,17 @@ TEST(SystemTest, IntervalListsStayShortUnderStickyWrites) {
 
 TEST(SystemTest, EpochsRiseAcrossRestarts) {
   Cluster cluster(ClusterConfig{});
+  client::LogClientConfig ccfg;
+  ccfg.client_id = 3;
+  auto c = cluster.AddClient(ccfg);
   Epoch last = 0;
   for (int round = 0; round < 4; ++round) {
-    client::LogClientConfig ccfg;
-    ccfg.client_id = 3;
-    ccfg.node_id = 3000 + round;
-    auto c = cluster.MakeClient(ccfg);
     ASSERT_TRUE(InitClient(cluster, *c).ok());
     EXPECT_GT(c->current_epoch(), last);
     last = c->current_epoch();
     ASSERT_TRUE(WriteForced(cluster, *c, "r" + std::to_string(round)).ok());
-    c->Crash();
+    cluster.CrashClient(c);
+    cluster.RestartClient(c);
   }
 }
 
@@ -348,8 +347,8 @@ TEST(SystemTest, TwoClientsShareServersIndependently) {
   client::LogClientConfig b_cfg;
   b_cfg.client_id = 2;
   b_cfg.node_id = 1500;
-  auto a = cluster.MakeClient(a_cfg);
-  auto b = cluster.MakeClient(b_cfg);
+  auto a = cluster.AddClient(a_cfg);
+  auto b = cluster.AddClient(b_cfg);
   ASSERT_TRUE(InitClient(cluster, *a).ok());
   ASSERT_TRUE(InitClient(cluster, *b).ok());
 
@@ -361,7 +360,7 @@ TEST(SystemTest, TwoClientsShareServersIndependently) {
 
 TEST(SystemTest, ReadsServedFromLocalBufferWithoutServerTrip) {
   Cluster cluster(ClusterConfig{});
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   Result<Lsn> lsn = c->WriteLog(ToBytes("still local"));
   ASSERT_TRUE(lsn.ok());
@@ -380,7 +379,7 @@ TEST(SystemTest, ServerForestIndexesDiskResidentRecords) {
   cfg.server.flush_interval = 10 * sim::kMillisecond;
   cfg.server.disk.track_bytes = 2048;  // small tracks: several flushes
   Cluster cluster(cfg);
-  auto c = cluster.MakeClient();
+  auto c = cluster.AddClient();
   ASSERT_TRUE(InitClient(cluster, *c).ok());
   for (int i = 0; i < 60; ++i) {
     ASSERT_TRUE(WriteForced(cluster, *c, std::string(120, 'z')).ok());

@@ -30,7 +30,7 @@ struct TracedNode {
   explicit TracedNode(harness::Cluster* cluster) : cluster_(cluster) {
     client::LogClientConfig log_cfg;
     log_cfg.client_id = 1;
-    log_ = cluster->MakeClient(log_cfg);
+    log_ = cluster->AddClient(log_cfg);
     bool ready = false;
     log_->Init([&](Status st) { ready = st.ok(); });
     EXPECT_TRUE(cluster->RunUntil([&]() { return ready; }));
@@ -55,7 +55,7 @@ struct TracedNode {
   }
 
   harness::Cluster* cluster_;
-  std::unique_ptr<client::LogClient> log_;
+  harness::ClientHandle log_;
   std::unique_ptr<tp::ReplicatedTxnLogger> logger_;
   std::unique_ptr<tp::PageDisk> page_disk_;
   std::unique_ptr<tp::TransactionEngine> engine_;

@@ -63,7 +63,7 @@ struct StackFixture {
     LogClientConfig cfg;
     cfg.client_id = 1;
     cfg.delta = 4;
-    log = cluster.MakeClient(cfg);
+    log = cluster.AddClient(cfg);
     bool ready = false;
     log->Init([&](Status st) { ready = st.ok(); });
     cluster.RunUntil([&]() { return ready; });
@@ -93,7 +93,7 @@ struct StackFixture {
   }
 
   Cluster cluster;
-  std::unique_ptr<client::LogClient> log;
+  harness::ClientHandle log;
 };
 
 TEST(TruncationSystemTest, ShrinksOnlineLog) {
@@ -116,12 +116,9 @@ TEST(TruncationSystemTest, ClampKeepsRecoveryWindow) {
   EXPECT_LE(applied, 20u - 4 + 1);
   f.cluster.sim().RunFor(sim::kSecond);
   // Restart recovery still works.
-  f.log->Crash();
-  LogClientConfig cfg;
-  cfg.client_id = 1;
-  cfg.node_id = 2000;
-  cfg.delta = 4;
-  auto log2 = f.cluster.MakeClient(cfg);
+  f.cluster.CrashClient(f.log);
+  f.cluster.RestartClient(f.log);
+  auto log2 = f.log;
   bool ready = false;
   log2->Init([&](Status st) { ready = st.ok(); });
   ASSERT_TRUE(f.cluster.RunUntil([&]() { return ready; }));
@@ -178,7 +175,7 @@ TEST(TruncationEngineTest, CheckpointTruncatesReplicatedLog) {
   LogClientConfig log_cfg;
   log_cfg.client_id = 7;
   log_cfg.delta = 4;
-  auto log = cluster.MakeClient(log_cfg);
+  auto log = cluster.AddClient(log_cfg);
   bool ready = false;
   log->Init([&](Status st) { ready = st.ok(); });
   ASSERT_TRUE(cluster.RunUntil([&]() { return ready; }));
@@ -216,11 +213,9 @@ TEST(TruncationEngineTest, CheckpointTruncatesReplicatedLog) {
 
   // And the bank still recovers correctly afterwards.
   engine.Crash();
-  log->Crash();
-  LogClientConfig cfg2;
-  cfg2.client_id = 7;
-  cfg2.node_id = 2001;
-  auto log2 = cluster.MakeClient(cfg2);
+  cluster.CrashClient(log);
+  cluster.RestartClient(log);
+  auto log2 = log;
   ready = false;
   for (int attempt = 0; attempt < 5 && !ready; ++attempt) {
     bool done = false;
