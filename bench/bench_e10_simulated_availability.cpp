@@ -24,9 +24,17 @@
 // Output: BENCH_E10.json, one row per (N, M) configuration. With fixed
 // seeds the run — and the JSON — is byte-identical across reruns.
 //
-// Usage: bench_e10_simulated_availability [probes_per_config]
-//   default 4000 (a few tens of seconds); CI soak uses a small count
-//   and the tolerance below widens with the matching 3.5-sigma bound.
+// Each configuration's probes are split into kTrialsPerConfig fully
+// independent trials (own cluster, own seeds) fanned across a
+// harness::TrialRunner thread pool. The decomposition, the per-trial
+// seeds, and the merge order are fixed regardless of thread count, so
+// the JSON is byte-identical whether the trials run serially or on
+// eight threads — parallelism only changes wall-clock time.
+//
+// Usage: bench_e10_simulated_availability [probes_per_config] [threads]
+//   default 4000 probes (a few tens of seconds) on 1 thread; CI soak
+//   uses a small count and the tolerance below widens with the matching
+//   3.5-sigma bound.
 
 #include <cmath>
 #include <cstdio>
@@ -37,6 +45,7 @@
 #include "analysis/availability.h"
 #include "chaos/controller.h"
 #include "harness/cluster.h"
+#include "harness/trial_runner.h"
 #include "obs/bench_report.h"
 
 namespace {
@@ -55,6 +64,20 @@ struct ConfigResult {
   uint64_t server_crashes = 0;
 };
 
+/// Raw success counts from one independent trial.
+struct TrialCounts {
+  uint64_t write_ok = 0;
+  uint64_t init_ok = 0;
+  uint64_t state_write_ok = 0;
+  uint64_t state_init_ok = 0;
+  uint64_t server_crashes = 0;
+};
+
+/// How many independent trials each configuration decomposes into. Fixed
+/// (not derived from the thread count) so the probe/seed split — and the
+/// resulting JSON — never depends on the degree of parallelism.
+constexpr int kTrialsPerConfig = 8;
+
 /// Probe clients fail fast: a probe must resolve well inside the probe
 /// interval, so an unavailable instant is reported as a failure instead
 /// of being ridden out until the servers repair.
@@ -69,7 +92,7 @@ client::LogClientConfig ProbeClientConfig(uint32_t client_id, int copies) {
   return cfg;
 }
 
-ConfigResult RunConfig(int m, int n, int probes, uint64_t seed) {
+TrialCounts RunTrial(int m, int n, int probes, uint64_t seed) {
   harness::ClusterConfig cluster_cfg;
   cluster_cfg.num_servers = m;
   cluster_cfg.seed = seed;
@@ -104,7 +127,7 @@ ConfigResult RunConfig(int m, int n, int probes, uint64_t seed) {
   cluster.chaos().StartMarkov(markov);
   cluster.sim().RunFor(kWarmup);  // mix toward the stationary state
 
-  ConfigResult r;
+  TrialCounts r;
   uint64_t write_ok = 0, init_ok = 0, state_write_ok = 0, state_init_ok = 0;
   Lsn last_forced = kNoLsn;
   for (int i = 0; i < probes; ++i) {
@@ -148,11 +171,45 @@ ConfigResult RunConfig(int m, int n, int probes, uint64_t seed) {
   }
   cluster.chaos().StopMarkov();
 
-  r.write_measured = static_cast<double>(write_ok) / probes;
-  r.init_measured = static_cast<double>(init_ok) / probes;
-  r.write_state = static_cast<double>(state_write_ok) / probes;
-  r.init_state = static_cast<double>(state_init_ok) / probes;
+  r.write_ok = write_ok;
+  r.init_ok = init_ok;
+  r.state_write_ok = state_write_ok;
+  r.state_init_ok = state_init_ok;
   r.server_crashes = cluster.chaos().server_crashes().value();
+  return r;
+}
+
+/// Splits `probes` across kTrialsPerConfig independent trials, fans them
+/// over `runner`, and merges the counts in trial order.
+ConfigResult RunConfig(int m, int n, int probes, uint64_t seed,
+                       const harness::TrialRunner& runner) {
+  std::vector<TrialCounts> counts = runner.Run(
+      kTrialsPerConfig, [m, n, probes, seed](size_t trial) {
+        // Even probe split, remainder to the earliest trials; each trial
+        // gets a disjoint deterministic seed.
+        int trial_probes = probes / kTrialsPerConfig;
+        if (static_cast<int>(trial) < probes % kTrialsPerConfig) {
+          ++trial_probes;
+        }
+        if (trial_probes == 0) return TrialCounts{};
+        return RunTrial(m, n, trial_probes,
+                        seed + 1000 * (static_cast<uint64_t>(trial) + 1));
+      });
+
+  TrialCounts total;
+  for (const TrialCounts& c : counts) {
+    total.write_ok += c.write_ok;
+    total.init_ok += c.init_ok;
+    total.state_write_ok += c.state_write_ok;
+    total.state_init_ok += c.state_init_ok;
+    total.server_crashes += c.server_crashes;
+  }
+  ConfigResult r;
+  r.write_measured = static_cast<double>(total.write_ok) / probes;
+  r.init_measured = static_cast<double>(total.init_ok) / probes;
+  r.write_state = static_cast<double>(total.state_write_ok) / probes;
+  r.init_state = static_cast<double>(total.state_init_ok) / probes;
+  r.server_crashes = total.server_crashes;
   return r;
 }
 
@@ -168,15 +225,18 @@ double Tolerance(double closed_form, int probes) {
 
 int main(int argc, char** argv) {
   const int probes = argc > 1 ? std::atoi(argv[1]) : 4000;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 1;
   const double p = 0.05;
+  harness::TrialRunner runner(threads > 0 ? threads : 1);
 
   obs::BenchReport report("e10_simulated_availability");
   bool all_ok = true;
 
   std::printf(
       "E10: Monte-Carlo availability on the running protocol, Markov "
-      "faults (MTTF=190s MTTR=10s, p=%.2f), %d probes/config\n\n",
-      p, probes);
+      "faults (MTTF=190s MTTR=10s, p=%.2f), %d probes/config, %d trials "
+      "on %d thread(s)\n\n",
+      p, probes, kTrialsPerConfig, threads);
   std::printf("%-3s %-3s | %-28s | %-28s\n", "N", "M",
               "WriteLog (closed/state/meas)",
               "ClientInit (closed/state/meas)");
@@ -188,7 +248,8 @@ int main(int argc, char** argv) {
     const int n = nm[0], m = nm[1];
     const double write_closed = analysis::WriteLogAvailability(m, n, p);
     const double init_closed = analysis::ClientInitAvailability(m, n, p);
-    const ConfigResult r = RunConfig(m, n, probes, /*seed=*/1000 + m);
+    const ConfigResult r =
+        RunConfig(m, n, probes, /*seed=*/1000 + m, runner);
 
     const double write_tol = Tolerance(write_closed, probes);
     const double init_tol = Tolerance(init_closed, probes);

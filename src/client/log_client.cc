@@ -90,7 +90,7 @@ LogClient::LogClient(sim::Simulator* sim, const LogClientConfig& config)
                                                config_.wire);
   // Multicast acknowledgments arrive as datagrams from server nodes.
   endpoint_->SetDatagramHandler(
-      [this](net::NodeId src, const Bytes& payload) {
+      [this](net::NodeId src, const SharedBytes& payload) {
         if (!crashed_) OnServerMessage(src, payload);
       });
 }
@@ -177,7 +177,8 @@ void LogClient::EnsureConnected(ServerLink* link) {
   }
   const net::NodeId node = link->node;
   const uint64_t generation = generation_;
-  conn->SetMessageHandler([this, node, generation](const Bytes& payload) {
+  conn->SetMessageHandler([this, node,
+                           generation](const SharedBytes& payload) {
     if (generation != generation_) return;
     OnServerMessage(node, payload);
   });
@@ -188,7 +189,8 @@ void LogClient::EnsureConnected(ServerLink* link) {
   });
 }
 
-void LogClient::OnServerMessage(net::NodeId node, const Bytes& payload) {
+void LogClient::OnServerMessage(net::NodeId node,
+                                const SharedBytes& payload) {
   ServerLink* link = LinkOf(node);
   if (link == nullptr) return;
   Result<wire::Envelope> env = wire::DecodeEnvelope(payload);
@@ -1121,7 +1123,8 @@ void LogClient::ReadLog(Lsn lsn, std::function<void(Result<Bytes>)> done) {
   // paper's Section 5.2 motivation: aborts read from the client cache).
   auto pit = pending_.find(lsn);
   if (pit != pending_.end()) {
-    Bytes data = pit->second.record.data;
+    // User-facing materialization: reads hand back an owned copy.
+    Bytes data = pit->second.record.data.ToBytes();
     sim_->After(0, [done = std::move(done), data = std::move(data)]() {
       done(data);
     });
@@ -1131,7 +1134,7 @@ void LogClient::ReadLog(Lsn lsn, std::function<void(Result<Bytes>)> done) {
   if (cit != read_cache_.end()) {
     const LogRecord& rec = cit->second;
     Result<Bytes> result =
-        rec.present ? Result<Bytes>(rec.data)
+        rec.present ? Result<Bytes>(rec.data.ToBytes())
                     : Result<Bytes>(
                           Status::NotFound("record marked not present"));
     sim_->After(0,
@@ -1208,7 +1211,7 @@ void LogClient::ReadLog(Lsn lsn, std::function<void(Result<Bytes>)> done) {
           if (!rec.present) {
             finish(Status::NotFound("record marked not present"));
           } else {
-            finish(rec.data);
+            finish(rec.data.ToBytes());
           }
         });
   };

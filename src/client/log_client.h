@@ -221,7 +221,7 @@ class LogClient {
   void ConnectAll();
   ServerLink* LinkOf(net::NodeId node);
   void EnsureConnected(ServerLink* link);
-  void OnServerMessage(net::NodeId node, const Bytes& payload);
+  void OnServerMessage(net::NodeId node, const SharedBytes& payload);
   void OnNewHighLsn(ServerLink* link, Lsn high);
   void OnMissingInterval(ServerLink* link, Lsn low, Lsn high);
 

@@ -214,7 +214,7 @@ Result<Bytes> ReplicatedLog::ReadLog(Lsn lsn) {
       // exception is signaled."
       return Status::NotFound("record marked not present");
     }
-    return r->data;
+    return r->data.ToBytes();
   }
   return Status::Unavailable("no server holding the record is reachable");
 }

@@ -1,10 +1,13 @@
 #ifndef DLOG_COMMON_BYTES_H_
 #define DLOG_COMMON_BYTES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -14,6 +17,106 @@ namespace dlog {
 
 /// A byte buffer used for message and disk-record encoding.
 using Bytes = std::vector<uint8_t>;
+
+/// Process-wide tally of payload bytes memcpy'd across ownership
+/// boundaries after their initial serialization — the copies the
+/// zero-copy wire path exists to eliminate. Counted: Decoder blob/string
+/// materialization, SharedBytes materialization, and the explicit
+/// persistence copy into stable storage. Not counted: the one
+/// unavoidable serialization pass that first builds a message or disk
+/// image (Encoder appends). Benchmarks reset and diff this around a
+/// workload; the counter is atomic so parallel trial runners can share
+/// it without races.
+uint64_t BytesCopied();
+void AddBytesCopied(uint64_t n);
+void ResetBytesCopied();
+
+namespace internal {
+inline std::atomic<uint64_t>& bytes_copied_counter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+}  // namespace internal
+
+inline uint64_t BytesCopied() {
+  return internal::bytes_copied_counter().load(std::memory_order_relaxed);
+}
+inline void AddBytesCopied(uint64_t n) {
+  internal::bytes_copied_counter().fetch_add(n, std::memory_order_relaxed);
+}
+inline void ResetBytesCopied() {
+  internal::bytes_copied_counter().store(0, std::memory_order_relaxed);
+}
+
+/// A refcounted immutable byte buffer, plus a view (offset/length) into
+/// it. Copying a SharedBytes — or slicing sub-ranges out of it — shares
+/// the underlying storage instead of duplicating bytes, which is what
+/// lets one encoded message flow from the sender through Network
+/// fan-out, every receiver's NIC, and envelope/record decoding without a
+/// single payload copy. The refcount is atomic (std::shared_ptr), so
+/// buffers may be handed across the parallel trial runner's threads.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Takes ownership of `b` (move in; no copy when called with an
+  /// rvalue). Implicit so the many call sites that build a Bytes and
+  /// hand it off keep reading naturally.
+  SharedBytes(Bytes b)  // NOLINT: implicit by design
+      : owner_(std::make_shared<const Bytes>(std::move(b))),
+        data_(owner_->data()),
+        size_(owner_->size()) {}
+
+  /// Copies `n` bytes into a fresh buffer (counted as a payload copy).
+  static SharedBytes Copy(const uint8_t* data, size_t n) {
+    AddBytesCopied(n);
+    return SharedBytes(Bytes(data, data + n));
+  }
+  static SharedBytes Copy(std::string_view s) {
+    return Copy(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// A view of [offset, offset+length) sharing ownership of the buffer.
+  SharedBytes Slice(size_t offset, size_t length) const {
+    SharedBytes out;
+    out.owner_ = owner_;
+    out.data_ = data_ + offset;
+    out.size_ = length;
+    return out;
+  }
+
+  /// Materializes an owned mutable copy (counted as a payload copy).
+  Bytes ToBytes() const {
+    AddBytesCopied(size_);
+    return Bytes(data_, data_ + size_);
+  }
+
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+
+  /// Content equality (used by LogRecord comparison and tests).
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator!=(const SharedBytes& a, const SharedBytes& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::shared_ptr<const Bytes> owner_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
 
 /// Appends fixed-width little-endian integers and length-prefixed blobs to
 /// a Bytes buffer. All dlog on-wire and on-disk encodings go through this.
@@ -33,6 +136,7 @@ class Encoder {
     out_->insert(out_->end(), data, data + n);
   }
   void PutBlob(const Bytes& b) { PutBlob(b.data(), b.size()); }
+  void PutBlob(const SharedBytes& b) { PutBlob(b.data(), b.size()); }
   void PutString(std::string_view s) {
     PutBlob(reinterpret_cast<const uint8_t*>(s.data()), s.size());
   }
@@ -55,6 +159,10 @@ class Decoder {
   Decoder(const uint8_t* data, size_t size)
       : data_(data), size_(size), pos_(0) {}
   explicit Decoder(const Bytes& b) : Decoder(b.data(), b.size()) {}
+  /// Decoding a SharedBytes remembers the owning buffer, so GetBlobView()
+  /// can return zero-copy views that share its ownership.
+  explicit Decoder(const SharedBytes& b)
+      : owner_(b), data_(b.data()), size_(b.size()), pos_(0) {}
 
   size_t remaining() const { return size_ - pos_; }
   bool Done() const { return pos_ == size_; }
@@ -71,16 +179,39 @@ class Decoder {
     return v != 0;
   }
 
+  /// Materializes a length-prefixed blob into an owned buffer (a counted
+  /// payload copy — prefer GetBlobView() on hot paths).
   Result<Bytes> GetBlob() {
     DLOG_ASSIGN_OR_RETURN(uint32_t n, GetU32());
     if (remaining() < n) return Truncated();
+    AddBytesCopied(n);
     Bytes out(data_ + pos_, data_ + pos_ + n);
     pos_ += n;
     return out;
   }
+
+  /// Zero-copy blob access: when the Decoder was constructed from a
+  /// SharedBytes the result is a view sharing that buffer; otherwise the
+  /// bytes are copied (the input's lifetime is unknown).
+  Result<SharedBytes> GetBlobView() {
+    DLOG_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+    if (remaining() < n) return Truncated();
+    SharedBytes out;
+    if (n > 0) {
+      out = owner_.data() != nullptr ? owner_.Slice(pos_, n)
+                                     : SharedBytes::Copy(data_ + pos_, n);
+    }
+    pos_ += n;
+    return out;
+  }
+
   Result<std::string> GetString() {
-    DLOG_ASSIGN_OR_RETURN(Bytes b, GetBlob());
-    return std::string(b.begin(), b.end());
+    DLOG_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+    if (remaining() < n) return Truncated();
+    AddBytesCopied(n);
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
   }
 
  private:
@@ -99,6 +230,7 @@ class Decoder {
     return static_cast<T>(v);
   }
 
+  SharedBytes owner_;  // set only for the SharedBytes constructor
   const uint8_t* data_;
   size_t size_;
   size_t pos_;
@@ -110,6 +242,9 @@ inline Bytes ToBytes(std::string_view s) {
 }
 inline std::string ToString(const Bytes& b) {
   return std::string(b.begin(), b.end());
+}
+inline std::string ToString(const SharedBytes& b) {
+  return std::string(b.view());
 }
 
 }  // namespace dlog

@@ -32,11 +32,18 @@ constexpr Lsn kNoLsn = 0;
 /// A log record as stored on a log server: "log records stored on log
 /// servers contain an epoch number and a boolean present flag ... If the
 /// present flag is false, no log data need be stored" (Section 3.1.1).
+///
+/// The payload is a refcounted immutable SharedBytes: a record decoded
+/// from an arriving packet is a view into that packet's buffer, and
+/// copying records between reorder buffers, stores, and read replies
+/// shares the bytes. The payload is materialized (copied) only when it
+/// is serialized into stable storage or handed back to a caller as an
+/// owned Bytes.
 struct LogRecord {
   Lsn lsn = kNoLsn;
   Epoch epoch = 0;
   bool present = true;
-  Bytes data;
+  SharedBytes data;
 
   friend bool operator==(const LogRecord& a, const LogRecord& b) {
     return a.lsn == b.lsn && a.epoch == b.epoch && a.present == b.present &&

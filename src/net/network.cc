@@ -142,10 +142,11 @@ void Network::DeliverTo(NodeId dst, const Packet& packet,
   }
   Nic* nic = it->second;
   for (int i = 0; i < copies; ++i) {
-    Packet copy = packet;
+    // Packet carries a refcounted payload: this capture shares the
+    // sender's buffer with every receiver instead of duplicating it.
     packets_delivered_.Increment();
     sim_->At(arrival + static_cast<sim::Duration>(i) * sim::kMicrosecond,
-             [nic, copy = std::move(copy)]() { nic->Deliver(copy); });
+             [nic, packet]() { nic->Deliver(packet); });
   }
 }
 

@@ -18,11 +18,15 @@ constexpr NodeId kMulticastBase = 0x80000000u;
 inline bool IsMulticast(NodeId id) { return id >= kMulticastBase; }
 
 /// A network packet. The payload is an opaque byte string produced by the
-/// wire layer; the network only looks at sizes and addresses.
+/// wire layer; the network only looks at sizes and addresses. The payload
+/// is refcounted and immutable (SharedBytes): queueing, multicast
+/// fan-out, duplication, and per-receiver delivery all share one buffer,
+/// and a delivered packet keeps that buffer alive even if the sending
+/// node has since crashed or been destroyed.
 struct Packet {
   NodeId src = 0;
   NodeId dst = 0;
-  Bytes payload;
+  SharedBytes payload;
 
   /// Total bytes on the wire, including link-level header/trailer.
   size_t WireSize(size_t header_bytes) const {

@@ -44,7 +44,7 @@ LogServer::LogServer(sim::Simulator* sim, const LogServerConfig& config)
   endpoint_->SetAcceptHandler(
       [this](wire::Connection* conn) { OnAccept(conn); });
   endpoint_->SetDatagramHandler(
-      [this](net::NodeId src, const Bytes& payload) {
+      [this](net::NodeId src, const SharedBytes& payload) {
         OnDatagram(src, payload);
       });
 }
@@ -102,7 +102,7 @@ double LogServer::NvramFraction() const {
 
 void LogServer::OnAccept(wire::Connection* conn) {
   conn->SetMessageHandler(
-      [this, conn](const Bytes& payload) { OnMessage(conn, payload); });
+      [this, conn](const SharedBytes& payload) { OnMessage(conn, payload); });
 }
 
 void LogServer::Reply(wire::Connection* conn, Bytes message) {
@@ -110,7 +110,8 @@ void LogServer::Reply(wire::Connection* conn, Bytes message) {
   conn->Send(std::move(message));
 }
 
-void LogServer::OnMessage(wire::Connection* conn, const Bytes& payload) {
+void LogServer::OnMessage(wire::Connection* conn,
+                          const SharedBytes& payload) {
   if (!up_) return;
   Result<wire::Envelope> env = wire::DecodeEnvelope(payload);
   if (!env.ok()) return;  // garbled packet: the medium is lossy anyway
@@ -232,7 +233,7 @@ void LogServer::DrainPending(ClientState* state, ClientId client) {
   }
 }
 
-void LogServer::OnDatagram(net::NodeId src, const Bytes& payload) {
+void LogServer::OnDatagram(net::NodeId src, const SharedBytes& payload) {
   if (!up_) return;
   Result<wire::Envelope> env = wire::DecodeEnvelope(payload);
   if (!env.ok()) return;

@@ -182,8 +182,8 @@ class LogServer {
   using ReplyFn = std::function<void(Bytes)>;
 
   void OnAccept(wire::Connection* conn);
-  void OnMessage(wire::Connection* conn, const Bytes& payload);
-  void OnDatagram(net::NodeId src, const Bytes& payload);
+  void OnMessage(wire::Connection* conn, const SharedBytes& payload);
+  void OnDatagram(net::NodeId src, const SharedBytes& payload);
   void HandleRecords(const ReplyFn& reply, const wire::Envelope& env,
                      bool force);
   void HandleNewInterval(const wire::Envelope& env);

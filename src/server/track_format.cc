@@ -10,6 +10,9 @@ void PutEntry(Encoder* enc, const StreamEntry& entry) {
   enc->PutU64(entry.record.lsn);
   enc->PutU64(entry.record.epoch);
   enc->PutBool(entry.record.present);
+  // Persistence is where a record's bytes leave the shared wire buffer
+  // for a stable-storage image — the one copy the zero-copy path keeps.
+  AddBytesCopied(entry.record.data.size());
   enc->PutBlob(entry.record.data);
 }
 

@@ -1,0 +1,56 @@
+#include "sim/callback.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace dlog::sim::internal {
+namespace {
+
+/// Free list of fixed-size blocks for oversize callback captures. One per
+/// thread: the parallel trial runner pins each simulation to a single
+/// worker thread, so allocation and free always happen on the same list
+/// and no locking is needed.
+struct Slab {
+  std::vector<void*> free_blocks;
+  /// Cap the cached blocks so a burst does not pin memory forever.
+  static constexpr size_t kMaxCached = 4096;
+
+  ~Slab() {
+    for (void* p : free_blocks) ::operator delete(p);
+  }
+};
+
+Slab& slab() {
+  thread_local Slab s;
+  return s;
+}
+
+}  // namespace
+
+CallbackAllocStats& callback_alloc_stats() {
+  thread_local CallbackAllocStats stats;
+  return stats;
+}
+
+void* PoolAllocate(size_t bytes) {
+  (void)bytes;  // every pooled block has kPoolBlockBytes capacity
+  Slab& s = slab();
+  if (!s.free_blocks.empty()) {
+    void* p = s.free_blocks.back();
+    s.free_blocks.pop_back();
+    return p;
+  }
+  return ::operator new(kPoolBlockBytes);
+}
+
+void PoolFree(void* p, size_t bytes) {
+  (void)bytes;
+  Slab& s = slab();
+  if (s.free_blocks.size() < Slab::kMaxCached) {
+    s.free_blocks.push_back(p);
+  } else {
+    ::operator delete(p);
+  }
+}
+
+}  // namespace dlog::sim::internal

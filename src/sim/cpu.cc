@@ -17,7 +17,7 @@ Duration Cpu::InstructionsToTime(uint64_t instructions) const {
                            (mips_ * 1e6));
 }
 
-void Cpu::Execute(uint64_t instructions, std::function<void()> done) {
+void Cpu::Execute(uint64_t instructions, Callback done) {
   const Duration service = InstructionsToTime(instructions);
   const Time start = std::max(sim_->Now(), free_at_);
   free_at_ = start + service;

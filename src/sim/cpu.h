@@ -2,9 +2,9 @@
 #define DLOG_SIM_CPU_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "sim/callback.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -29,7 +29,7 @@ class Cpu {
   /// Schedules `instructions` of work; calls `done` (may be null) at the
   /// simulated completion time. Work is served FIFO after all previously
   /// submitted work.
-  void Execute(uint64_t instructions, std::function<void()> done);
+  void Execute(uint64_t instructions, Callback done);
 
   /// Time the CPU has spent busy since construction (or last ResetStats).
   Duration busy_time() const { return busy_time_; }

@@ -40,6 +40,9 @@ void Connection::HandshakeTimeout() {
 
 void Connection::Send(Bytes payload) {
   if (state_ == State::kClosed) return;
+  // Make room for the frame trailer now so framing at flush time appends
+  // in place without reallocating (and so without copying the payload).
+  payload.reserve(payload.size() + Endpoint::kFrameTrailerBytes);
   send_queue_.push_back(std::move(payload));
   TryFlush();
 }
@@ -50,7 +53,7 @@ void Connection::TryFlush() {
     Bytes payload = std::move(send_queue_.front());
     send_queue_.pop_front();
     endpoint_->SendFrame(peer_, Endpoint::kData, conn_id_, next_send_seq_++,
-                         CurrentGrant(), payload);
+                         CurrentGrant(), std::move(payload));
     last_advertised_grant_ = CurrentGrant();
   }
   if (!send_queue_.empty()) {
@@ -72,7 +75,8 @@ void Connection::ArmOverrideTimer() {
         Bytes payload = std::move(send_queue_.front());
         send_queue_.pop_front();
         endpoint_->SendFrame(peer_, Endpoint::kData, conn_id_,
-                             next_send_seq_++, CurrentGrant(), payload);
+                             next_send_seq_++, CurrentGrant(),
+                             std::move(payload));
         last_advertised_grant_ = CurrentGrant();
         if (!send_queue_.empty()) ArmOverrideTimer();
       });
@@ -92,7 +96,7 @@ void Connection::GrantWindowIfNeeded(bool force) {
 }
 
 void Connection::OnFrame(uint8_t frame_type, uint64_t seq, uint64_t alloc,
-                         const Bytes& payload) {
+                         const SharedBytes& payload) {
   if (state_ == State::kClosed) return;
   switch (frame_type) {
     case Endpoint::kSynAck:
@@ -229,14 +233,20 @@ void Endpoint::Crash() {
 
 void Endpoint::SendFrame(net::NodeId dst, uint8_t frame_type,
                          uint64_t conn_id, uint64_t seq, uint64_t alloc,
-                         const Bytes& payload) {
-  Bytes frame;
-  Encoder enc(&frame);
+                         Bytes payload) {
+  // Frame in place: append the trailer to the payload buffer (reserved
+  // headroom makes this a plain append) and hand the buffer itself to
+  // the packet. The payload length is stored explicitly so a truncated
+  // or corrupt packet is detected before slicing.
+  const uint32_t payload_len = static_cast<uint32_t>(payload.size());
+  payload.reserve(payload.size() + kFrameTrailerBytes);
+  Encoder enc(&payload);
   enc.PutU8(frame_type);
   enc.PutU64(conn_id);
   enc.PutU64(seq);
   enc.PutU64(alloc);
-  enc.PutBlob(payload);
+  enc.PutU32(payload_len);
+  SharedBytes frame(std::move(payload));
 
   packets_sent_.Increment();
   // Charge the transmission path CPU cost, then hand to a network.
@@ -254,8 +264,8 @@ void Endpoint::SendFrame(net::NodeId dst, uint8_t frame_type,
                 });
 }
 
-void Endpoint::SendDatagram(net::NodeId dst, const Bytes& payload) {
-  SendFrame(dst, kDatagram, 0, 0, 0, payload);
+void Endpoint::SendDatagram(net::NodeId dst, Bytes payload) {
+  SendFrame(dst, kDatagram, 0, 0, 0, std::move(payload));
 }
 
 void Endpoint::OnNicDeliver(const net::Packet& packet, net::Nic* nic) {
@@ -269,19 +279,28 @@ void Endpoint::OnNicDeliver(const net::Packet& packet, net::Nic* nic) {
 
 void Endpoint::ProcessPacket(const net::Packet& packet) {
   packets_received_.Increment();
-  Decoder dec(packet.payload);
+  const SharedBytes& buf = packet.payload;
+  if (buf.size() < kFrameTrailerBytes) {
+    return;  // malformed packet; the medium is unreliable anyway
+  }
+  Decoder dec(buf.data() + buf.size() - kFrameTrailerBytes,
+              kFrameTrailerBytes);
   auto frame_type = dec.GetU8();
   auto conn_id = dec.GetU64();
   auto seq = dec.GetU64();
   auto alloc = dec.GetU64();
-  auto payload = dec.GetBlob();
+  auto payload_len = dec.GetU32();
   if (!frame_type.ok() || !conn_id.ok() || !seq.ok() || !alloc.ok() ||
-      !payload.ok()) {
-    return;  // malformed packet; the medium is unreliable anyway
+      !payload_len.ok() ||
+      *payload_len != buf.size() - kFrameTrailerBytes) {
+    return;  // malformed packet
   }
+  // Zero-copy: the payload is a view into the arriving packet buffer,
+  // shared up through envelope and record decoding.
+  SharedBytes payload = buf.Slice(0, *payload_len);
 
   if (*frame_type == kDatagram) {
-    if (datagram_handler_) datagram_handler_(packet.src, *payload);
+    if (datagram_handler_) datagram_handler_(packet.src, payload);
     return;
   }
 
@@ -314,7 +333,7 @@ void Endpoint::ProcessPacket(const net::Packet& packet) {
     SendFrame(packet.src, kSynAck, *conn_id, 0, conn->CurrentGrant(), {});
     return;
   }
-  conn->OnFrame(*frame_type, *seq, *alloc, *payload);
+  conn->OnFrame(*frame_type, *seq, *alloc, payload);
 }
 
 }  // namespace dlog::wire

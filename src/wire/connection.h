@@ -56,9 +56,12 @@ class Endpoint;
 /// Delivery is unordered and unreliable by design: the transport detects
 /// duplicates and flow-controls, while loss recovery is end-to-end in the
 /// logging protocol itself (Section 4.2, citing Saltzer et al.).
+///
+/// Arriving payloads are handed up as SharedBytes views into the packet
+/// buffer — no bytes are copied between the NIC and the message handler.
 class Connection {
  public:
-  using MessageHandler = std::function<void(const Bytes&)>;
+  using MessageHandler = std::function<void(const SharedBytes&)>;
   using CloseHandler = std::function<void()>;
 
   Connection(const Connection&) = delete;
@@ -96,7 +99,7 @@ class Connection {
   void StartHandshake();
   void HandshakeTimeout();
   void OnFrame(uint8_t frame_type, uint64_t seq, uint64_t alloc,
-               const Bytes& payload);
+               const SharedBytes& payload);
   void TryFlush();
   void GrantWindowIfNeeded(bool force);
   /// The allocation we are currently willing to grant the peer.
@@ -165,12 +168,15 @@ class Endpoint {
   /// sequence numbers or flow control: the logging protocol's own
   /// LSN-contiguity detection and per-record idempotence provide the
   /// end-to-end reliability.
-  using DatagramHandler = std::function<void(net::NodeId, const Bytes&)>;
+  using DatagramHandler =
+      std::function<void(net::NodeId, const SharedBytes&)>;
   void SetDatagramHandler(DatagramHandler h) {
     datagram_handler_ = std::move(h);
   }
-  /// `dst` may be a unicast node id or a multicast group id.
-  void SendDatagram(net::NodeId dst, const Bytes& payload);
+  /// `dst` may be a unicast node id or a multicast group id. The payload
+  /// is framed in place (taken by value) and, for multicast, one buffer
+  /// is shared by every receiver.
+  void SendDatagram(net::NodeId dst, Bytes payload);
 
   /// Simulates a node crash: all connection state vanishes (it lives in
   /// volatile memory) and the incarnation number advances so that pre-
@@ -200,9 +206,17 @@ class Endpoint {
   static constexpr uint8_t kReset = 6;
   static constexpr uint8_t kDatagram = 7;
 
-  /// Sends a protocol frame, charging the CPU budget first.
+  /// The transport frame is a fixed-size trailer appended to the payload
+  /// (type, conn id, seq, alloc, payload length), so framing a message
+  /// appends a few bytes in place instead of copying the payload into a
+  /// fresh header-prefixed buffer. Same wire size as a header would be.
+  static constexpr size_t kFrameTrailerBytes = 1 + 8 + 8 + 8 + 4;
+
+  /// Sends a protocol frame, charging the CPU budget first. Takes the
+  /// payload by value: the trailer is appended in place and the buffer
+  /// becomes the packet's refcounted payload without a copy.
   void SendFrame(net::NodeId dst, uint8_t frame_type, uint64_t conn_id,
-                 uint64_t seq, uint64_t alloc, const Bytes& payload);
+                 uint64_t seq, uint64_t alloc, Bytes payload);
 
   void OnNicDeliver(const net::Packet& packet, net::Nic* nic);
   void ProcessPacket(const net::Packet& packet);

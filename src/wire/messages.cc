@@ -22,7 +22,9 @@ Result<LogRecord> GetRecord(Decoder* dec) {
   DLOG_ASSIGN_OR_RETURN(r.lsn, dec->GetU64());
   DLOG_ASSIGN_OR_RETURN(r.epoch, dec->GetU64());
   DLOG_ASSIGN_OR_RETURN(r.present, dec->GetBool());
-  DLOG_ASSIGN_OR_RETURN(r.data, dec->GetBlob());
+  // View into the arriving buffer: record data stays zero-copy until a
+  // consumer materializes it (e.g. persistence into a track).
+  DLOG_ASSIGN_OR_RETURN(r.data, dec->GetBlobView());
   return r;
 }
 
@@ -216,14 +218,14 @@ Bytes EncodeGenWriteResp(const GenWriteResp& m, uint64_t rpc_id) {
   return out;
 }
 
-Result<GenReadReq> DecodeGenReadReq(const Bytes& body) {
+Result<GenReadReq> DecodeGenReadReq(const SharedBytes& body) {
   Decoder dec(body);
   GenReadReq m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
   return m;
 }
 
-Result<GenReadResp> DecodeGenReadResp(const Bytes& body) {
+Result<GenReadResp> DecodeGenReadResp(const SharedBytes& body) {
   Decoder dec(body);
   GenReadResp m;
   DLOG_ASSIGN_OR_RETURN(m.status, GetRpcStatus(&dec));
@@ -231,7 +233,7 @@ Result<GenReadResp> DecodeGenReadResp(const Bytes& body) {
   return m;
 }
 
-Result<GenWriteReq> DecodeGenWriteReq(const Bytes& body) {
+Result<GenWriteReq> DecodeGenWriteReq(const SharedBytes& body) {
   Decoder dec(body);
   GenWriteReq m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
@@ -239,7 +241,7 @@ Result<GenWriteReq> DecodeGenWriteReq(const Bytes& body) {
   return m;
 }
 
-Result<GenWriteResp> DecodeGenWriteResp(const Bytes& body) {
+Result<GenWriteResp> DecodeGenWriteResp(const SharedBytes& body) {
   Decoder dec(body);
   GenWriteResp m;
   DLOG_ASSIGN_OR_RETURN(m.status, GetRpcStatus(&dec));
@@ -255,7 +257,7 @@ Bytes EncodeTruncateLog(const TruncateLogMsg& m) {
   return out;
 }
 
-Result<TruncateLogMsg> DecodeTruncateLog(const Bytes& body) {
+Result<TruncateLogMsg> DecodeTruncateLog(const SharedBytes& body) {
   Decoder dec(body);
   TruncateLogMsg m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
@@ -263,7 +265,7 @@ Result<TruncateLogMsg> DecodeTruncateLog(const Bytes& body) {
   return m;
 }
 
-Result<Envelope> DecodeEnvelope(const Bytes& wire) {
+Result<Envelope> DecodeEnvelope(const SharedBytes& wire) {
   Decoder dec(wire);
   Envelope env;
   DLOG_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
@@ -273,12 +275,19 @@ Result<Envelope> DecodeEnvelope(const Bytes& wire) {
   }
   env.type = static_cast<MessageType>(type);
   DLOG_ASSIGN_OR_RETURN(env.rpc_id, dec.GetU64());
-  env.body.assign(wire.begin() + (wire.size() - dec.remaining()),
-                  wire.end());
+  // Body is a slice of the arriving buffer — no copy.
+  const size_t header = wire.size() - dec.remaining();
+  env.body = wire.Slice(header, wire.size() - header);
   return env;
 }
 
-Result<RecordBatch> DecodeRecordBatch(const Bytes& body) {
+Result<Envelope> DecodeEnvelope(const Bytes& wire) {
+  // Offline/test convenience: wrap the owned buffer first (one copy so
+  // the envelope's body view cannot dangle past `wire`).
+  return DecodeEnvelope(SharedBytes::Copy(wire.data(), wire.size()));
+}
+
+Result<RecordBatch> DecodeRecordBatch(const SharedBytes& body) {
   Decoder dec(body);
   RecordBatch m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
@@ -289,7 +298,7 @@ Result<RecordBatch> DecodeRecordBatch(const Bytes& body) {
   return m;
 }
 
-Result<NewIntervalMsg> DecodeNewInterval(const Bytes& body) {
+Result<NewIntervalMsg> DecodeNewInterval(const SharedBytes& body) {
   Decoder dec(body);
   NewIntervalMsg m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
@@ -298,14 +307,14 @@ Result<NewIntervalMsg> DecodeNewInterval(const Bytes& body) {
   return m;
 }
 
-Result<NewHighLsnMsg> DecodeNewHighLsn(const Bytes& body) {
+Result<NewHighLsnMsg> DecodeNewHighLsn(const SharedBytes& body) {
   Decoder dec(body);
   NewHighLsnMsg m;
   DLOG_ASSIGN_OR_RETURN(m.new_high_lsn, dec.GetU64());
   return m;
 }
 
-Result<MissingIntervalMsg> DecodeMissingInterval(const Bytes& body) {
+Result<MissingIntervalMsg> DecodeMissingInterval(const SharedBytes& body) {
   Decoder dec(body);
   MissingIntervalMsg m;
   DLOG_ASSIGN_OR_RETURN(m.low, dec.GetU64());
@@ -313,14 +322,14 @@ Result<MissingIntervalMsg> DecodeMissingInterval(const Bytes& body) {
   return m;
 }
 
-Result<IntervalListReq> DecodeIntervalListReq(const Bytes& body) {
+Result<IntervalListReq> DecodeIntervalListReq(const SharedBytes& body) {
   Decoder dec(body);
   IntervalListReq m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
   return m;
 }
 
-Result<IntervalListResp> DecodeIntervalListResp(const Bytes& body) {
+Result<IntervalListResp> DecodeIntervalListResp(const SharedBytes& body) {
   Decoder dec(body);
   IntervalListResp m;
   DLOG_ASSIGN_OR_RETURN(m.status, GetRpcStatus(&dec));
@@ -336,7 +345,7 @@ Result<IntervalListResp> DecodeIntervalListResp(const Bytes& body) {
   return m;
 }
 
-Result<ReadLogReq> DecodeReadLogReq(const Bytes& body) {
+Result<ReadLogReq> DecodeReadLogReq(const SharedBytes& body) {
   Decoder dec(body);
   ReadLogReq m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
@@ -344,7 +353,7 @@ Result<ReadLogReq> DecodeReadLogReq(const Bytes& body) {
   return m;
 }
 
-Result<ReadLogResp> DecodeReadLogResp(const Bytes& body) {
+Result<ReadLogResp> DecodeReadLogResp(const SharedBytes& body) {
   Decoder dec(body);
   ReadLogResp m;
   DLOG_ASSIGN_OR_RETURN(m.status, GetRpcStatus(&dec));
@@ -352,7 +361,7 @@ Result<ReadLogResp> DecodeReadLogResp(const Bytes& body) {
   return m;
 }
 
-Result<CopyLogReq> DecodeCopyLogReq(const Bytes& body) {
+Result<CopyLogReq> DecodeCopyLogReq(const SharedBytes& body) {
   Decoder dec(body);
   CopyLogReq m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
@@ -361,14 +370,14 @@ Result<CopyLogReq> DecodeCopyLogReq(const Bytes& body) {
   return m;
 }
 
-Result<CopyLogResp> DecodeCopyLogResp(const Bytes& body) {
+Result<CopyLogResp> DecodeCopyLogResp(const SharedBytes& body) {
   Decoder dec(body);
   CopyLogResp m;
   DLOG_ASSIGN_OR_RETURN(m.status, GetRpcStatus(&dec));
   return m;
 }
 
-Result<InstallCopiesReq> DecodeInstallCopiesReq(const Bytes& body) {
+Result<InstallCopiesReq> DecodeInstallCopiesReq(const SharedBytes& body) {
   Decoder dec(body);
   InstallCopiesReq m;
   DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
@@ -376,7 +385,7 @@ Result<InstallCopiesReq> DecodeInstallCopiesReq(const Bytes& body) {
   return m;
 }
 
-Result<InstallCopiesResp> DecodeInstallCopiesResp(const Bytes& body) {
+Result<InstallCopiesResp> DecodeInstallCopiesResp(const SharedBytes& body) {
   Decoder dec(body);
   InstallCopiesResp m;
   DLOG_ASSIGN_OR_RETURN(m.status, GetRpcStatus(&dec));

@@ -46,11 +46,12 @@ enum class MessageType : uint8_t {
 
 /// Every message starts with a fixed header: type, then an RPC id that is
 /// zero for asynchronous messages and non-zero (echoed in the response)
-/// for synchronous calls.
+/// for synchronous calls. The body is a zero-copy view into the buffer
+/// the envelope was decoded from.
 struct Envelope {
   MessageType type;
   uint64_t rpc_id = 0;
-  Bytes body;
+  SharedBytes body;
 };
 
 /// WriteLog / ForceLog (Figure 4-1): "Client processes and log servers
@@ -196,25 +197,33 @@ Bytes EncodeGenWriteReq(const GenWriteReq& m, uint64_t rpc_id);
 Bytes EncodeGenWriteResp(const GenWriteResp& m, uint64_t rpc_id);
 Bytes EncodeTruncateLog(const TruncateLogMsg& m);
 
+/// Splits the header off `wire`; the returned Envelope's body is a view
+/// sharing `wire`'s buffer (no copy). The Bytes overload wraps its input
+/// in a fresh SharedBytes first (one counted copy) — convenient for
+/// tests and offline tooling.
+Result<Envelope> DecodeEnvelope(const SharedBytes& wire);
 Result<Envelope> DecodeEnvelope(const Bytes& wire);
 
-Result<RecordBatch> DecodeRecordBatch(const Bytes& body);
-Result<NewIntervalMsg> DecodeNewInterval(const Bytes& body);
-Result<NewHighLsnMsg> DecodeNewHighLsn(const Bytes& body);
-Result<MissingIntervalMsg> DecodeMissingInterval(const Bytes& body);
-Result<IntervalListReq> DecodeIntervalListReq(const Bytes& body);
-Result<IntervalListResp> DecodeIntervalListResp(const Bytes& body);
-Result<ReadLogReq> DecodeReadLogReq(const Bytes& body);
-Result<ReadLogResp> DecodeReadLogResp(const Bytes& body);
-Result<CopyLogReq> DecodeCopyLogReq(const Bytes& body);
-Result<CopyLogResp> DecodeCopyLogResp(const Bytes& body);
-Result<InstallCopiesReq> DecodeInstallCopiesReq(const Bytes& body);
-Result<InstallCopiesResp> DecodeInstallCopiesResp(const Bytes& body);
-Result<GenReadReq> DecodeGenReadReq(const Bytes& body);
-Result<GenReadResp> DecodeGenReadResp(const Bytes& body);
-Result<GenWriteReq> DecodeGenWriteReq(const Bytes& body);
-Result<GenWriteResp> DecodeGenWriteResp(const Bytes& body);
-Result<TruncateLogMsg> DecodeTruncateLog(const Bytes& body);
+/// Decode* bodies are SharedBytes so record payloads come out as views
+/// into the arriving buffer; a Bytes argument converts implicitly (with
+/// a copy) for callers that hold an owned buffer.
+Result<RecordBatch> DecodeRecordBatch(const SharedBytes& body);
+Result<NewIntervalMsg> DecodeNewInterval(const SharedBytes& body);
+Result<NewHighLsnMsg> DecodeNewHighLsn(const SharedBytes& body);
+Result<MissingIntervalMsg> DecodeMissingInterval(const SharedBytes& body);
+Result<IntervalListReq> DecodeIntervalListReq(const SharedBytes& body);
+Result<IntervalListResp> DecodeIntervalListResp(const SharedBytes& body);
+Result<ReadLogReq> DecodeReadLogReq(const SharedBytes& body);
+Result<ReadLogResp> DecodeReadLogResp(const SharedBytes& body);
+Result<CopyLogReq> DecodeCopyLogReq(const SharedBytes& body);
+Result<CopyLogResp> DecodeCopyLogResp(const SharedBytes& body);
+Result<InstallCopiesReq> DecodeInstallCopiesReq(const SharedBytes& body);
+Result<InstallCopiesResp> DecodeInstallCopiesResp(const SharedBytes& body);
+Result<GenReadReq> DecodeGenReadReq(const SharedBytes& body);
+Result<GenReadResp> DecodeGenReadResp(const SharedBytes& body);
+Result<GenWriteReq> DecodeGenWriteReq(const SharedBytes& body);
+Result<GenWriteResp> DecodeGenWriteResp(const SharedBytes& body);
+Result<TruncateLogMsg> DecodeTruncateLog(const SharedBytes& body);
 
 /// Bytes a LogRecord occupies inside a RecordBatch encoding; used by the
 /// client to pack "as many log records as will fit in a network packet".

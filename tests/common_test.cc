@@ -108,6 +108,95 @@ TEST(BytesTest, EmptyBlobRoundTrip) {
   EXPECT_TRUE(r->empty());
 }
 
+// --- SharedBytes / zero-copy decode ---
+
+TEST(SharedBytesTest, SharesStorageAcrossCopiesAndSlices) {
+  SharedBytes whole(ToBytes("hello, world"));
+  SharedBytes copy = whole;                 // shares, no byte copy
+  SharedBytes slice = whole.Slice(7, 5);    // "world"
+  EXPECT_EQ(copy.data(), whole.data());
+  EXPECT_EQ(slice.data(), whole.data() + 7);
+  EXPECT_EQ(slice.view(), "world");
+  EXPECT_TRUE(slice == SharedBytes(ToBytes("world")));
+  EXPECT_TRUE(slice != whole);
+}
+
+TEST(SharedBytesTest, SliceKeepsBufferAliveAfterParentDies) {
+  SharedBytes slice;
+  {
+    SharedBytes whole(ToBytes("the quick brown fox"));
+    slice = whole.Slice(4, 5);
+  }
+  // The owning buffer is refcounted; the slice must still be readable
+  // after every other handle is gone (ASan guards this).
+  EXPECT_EQ(slice.view(), "quick");
+}
+
+TEST(SharedBytesTest, CopyAndToBytesAreCounted) {
+  ResetBytesCopied();
+  SharedBytes a(ToBytes("0123456789"));  // move-in: not a copy
+  SharedBytes b = a.Slice(2, 6);         // view: not a copy
+  EXPECT_EQ(BytesCopied(), 0u);
+  Bytes owned = b.ToBytes();  // materialization: counted
+  EXPECT_EQ(owned.size(), 6u);
+  EXPECT_EQ(BytesCopied(), 6u);
+  SharedBytes c = SharedBytes::Copy(a.data(), a.size());  // counted
+  EXPECT_EQ(BytesCopied(), 16u);
+  EXPECT_TRUE(c == a);
+  ResetBytesCopied();
+}
+
+TEST(SharedBytesTest, DecoderBlobViewIsZeroCopy) {
+  Bytes buf;
+  Encoder enc(&buf);
+  enc.PutU32(7);
+  enc.PutBlob(ToBytes("payload"));
+  enc.PutBlob(Bytes{});
+  SharedBytes wire(std::move(buf));
+
+  ResetBytesCopied();
+  Decoder dec(wire);
+  ASSERT_TRUE(dec.GetU32().ok());
+  Result<SharedBytes> blob = dec.GetBlobView();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->view(), "payload");
+  // The view points into the wire buffer itself: zero bytes copied.
+  EXPECT_EQ(blob->data(), wire.data() + 8);
+  EXPECT_EQ(BytesCopied(), 0u);
+  Result<SharedBytes> empty = dec.GetBlobView();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(SharedBytesTest, DecoderBlobViewWithoutOwnerCopies) {
+  Bytes buf;
+  Encoder enc(&buf);
+  enc.PutBlob(ToBytes("abc"));
+  ResetBytesCopied();
+  Decoder dec(buf);  // plain Bytes: lifetime unknown, so views must copy
+  Result<SharedBytes> blob = dec.GetBlobView();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->view(), "abc");
+  EXPECT_EQ(BytesCopied(), 3u);
+  ResetBytesCopied();
+}
+
+TEST(SharedBytesTest, GetStringCountsOneCopy) {
+  Bytes buf;
+  Encoder enc(&buf);
+  enc.PutString("twelve bytes");
+  ResetBytesCopied();
+  Decoder dec(buf);
+  Result<std::string> s = dec.GetString();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "twelve bytes");
+  // Exactly one copy: the materialization itself (the old implementation
+  // built a temporary Bytes first, paying twice).
+  EXPECT_EQ(BytesCopied(), 12u);
+  ResetBytesCopied();
+}
+
 // --- CRC32C ---
 
 TEST(Crc32cTest, KnownVector) {

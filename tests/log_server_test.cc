@@ -41,7 +41,7 @@ struct RawDriver {
                                                 wire::WireConfig{});
     endpoint->AttachNetwork(network.get(), nic.get());
     conn = endpoint->Connect(1);
-    conn->SetMessageHandler([this](const Bytes& payload) {
+    conn->SetMessageHandler([this](const SharedBytes& payload) {
       Result<wire::Envelope> env = wire::DecodeEnvelope(payload);
       if (env.ok()) inbox.push_back(*env);
     });

@@ -52,6 +52,87 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
+TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.At(10, [&]() { ran = true; });
+  sim.Run();
+  EXPECT_TRUE(ran);
+  // The id is stale: its slot was freed when the event ran. The old
+  // cancelled-set implementation accepted it (returning true and leaking a
+  // poisoned entry); the generation scheme detects it exactly.
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);  // must not underflow
+}
+
+TEST(SimulatorTest, StaleIdDoesNotCancelSlotReuser) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  EventId id1 = sim.At(10, [&]() { first = true; });
+  sim.RunUntil(10);
+  EXPECT_TRUE(first);
+  // This event reuses the freed slot of id1; its generation differs, so
+  // cancelling through the stale id must not touch it.
+  EventId id2 = sim.At(20, [&]() { second = true; });
+  EXPECT_NE(id1, id2);
+  EXPECT_FALSE(sim.Cancel(id1));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_TRUE(second);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  sim.At(10, []() {});
+  EventId id = sim.At(20, []() {});
+  sim.At(30, []() {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_TRUE(sim.Cancel(id));
+  // The tombstoned entry may still sit in the queue, but it is not live.
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(SimulatorTest, CancelledEventsPastRunUntilAreCollected) {
+  Simulator sim;
+  int count = 0;
+  std::vector<EventId> far;
+  for (int i = 0; i < 100; ++i) {
+    far.push_back(sim.At(1000 + i, [&]() { ++count; }));
+  }
+  sim.At(10, [&]() { ++count; });
+  for (EventId id : far) EXPECT_TRUE(sim.Cancel(id));
+  sim.RunUntil(20);  // collects the far tombstones eagerly
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.Now(), 20u);
+  sim.Run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorTest, CompactionPreservesLiveEventOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  // Interleave survivors with a majority of soon-cancelled events so the
+  // tombstone compaction (triggered when cancelled entries outnumber
+  // live ones) runs mid-stream.
+  for (int i = 0; i < 200; ++i) {
+    sim.At(10 + 5 * i, [&order, i]() { order.push_back(i); });
+    doomed.push_back(sim.At(11 + 5 * i, []() {}));
+    doomed.push_back(sim.At(12 + 5 * i, []() {}));
+  }
+  for (EventId id : doomed) EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 200u);
+  sim.Run();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sim.events_executed(), 200u);
+}
+
 TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
   Simulator sim;
   int count = 0;

@@ -49,7 +49,7 @@ TEST_P(WireSweep, AtMostOnceDeliveryAndNoDuplicates) {
 
   std::multiset<std::string> received;
   b.SetAcceptHandler([&](Connection* conn) {
-    conn->SetMessageHandler([&](const Bytes& payload) {
+    conn->SetMessageHandler([&](const SharedBytes& payload) {
       received.insert(ToString(payload));
     });
   });
@@ -105,7 +105,7 @@ TEST_P(RpcSweep, CallsCompleteWithEnoughRetries) {
   Connection* accepted = nullptr;
   b.SetAcceptHandler([&](Connection* conn) {
     accepted = conn;
-    conn->SetMessageHandler([&](const Bytes& payload) {
+    conn->SetMessageHandler([&](const SharedBytes& payload) {
       auto env = DecodeEnvelope(payload);
       if (env.ok() && env->type == MessageType::kIntervalListReq) {
         accepted->Send(EncodeIntervalListResp({}, env->rpc_id));
@@ -117,7 +117,7 @@ TEST_P(RpcSweep, CallsCompleteWithEnoughRetries) {
   ASSERT_TRUE(conn->IsEstablished());
 
   RpcClient rpc(&sim, conn);
-  conn->SetMessageHandler([&](const Bytes& payload) {
+  conn->SetMessageHandler([&](const SharedBytes& payload) {
     auto env = DecodeEnvelope(payload);
     if (env.ok()) rpc.HandleResponse(*env);
   });

@@ -177,7 +177,7 @@ struct WirePair {
         b(&sim, &network, 2, wire_cfg) {
     b.endpoint.SetAcceptHandler([this](Connection* conn) {
       accepted = conn;
-      conn->SetMessageHandler([this](const Bytes& payload) {
+      conn->SetMessageHandler([this](const SharedBytes& payload) {
         b_received.push_back(payload);
       });
     });
@@ -186,7 +186,7 @@ struct WirePair {
   net::Network network;
   TestPeer a, b;
   Connection* accepted = nullptr;
-  std::vector<Bytes> b_received;
+  std::vector<SharedBytes> b_received;
 };
 
 TEST(ConnectionTest, HandshakeEstablishes) {
@@ -202,9 +202,9 @@ TEST(ConnectionTest, HandshakeEstablishes) {
 TEST(ConnectionTest, DataFlowsBothWays) {
   WirePair p;
   Connection* conn = p.a.endpoint.Connect(2);
-  std::vector<Bytes> a_received;
+  std::vector<SharedBytes> a_received;
   conn->SetMessageHandler(
-      [&](const Bytes& payload) { a_received.push_back(payload); });
+      [&](const SharedBytes& payload) { a_received.push_back(payload); });
 
   conn->Send(ToBytes("hello"));
   conn->Send(ToBytes("world"));
@@ -317,9 +317,9 @@ TEST(ConnectionTest, AllocationOverrideAfterPause) {
 
 TEST(DatagramTest, UnicastDatagramDelivered) {
   WirePair p;
-  std::vector<std::pair<net::NodeId, Bytes>> received;
+  std::vector<std::pair<net::NodeId, SharedBytes>> received;
   p.b.endpoint.SetDatagramHandler(
-      [&](net::NodeId src, const Bytes& payload) {
+      [&](net::NodeId src, const SharedBytes& payload) {
         received.push_back({src, payload});
       });
   p.a.endpoint.SendDatagram(2, ToBytes("hello datagram"));
@@ -339,9 +339,9 @@ TEST(DatagramTest, MulticastDatagramReachesGroup) {
   network.JoinGroup(group, 3);
   int b_got = 0, c_got = 0;
   b.endpoint.SetDatagramHandler(
-      [&](net::NodeId, const Bytes&) { ++b_got; });
+      [&](net::NodeId, const SharedBytes&) { ++b_got; });
   c.endpoint.SetDatagramHandler(
-      [&](net::NodeId, const Bytes&) { ++c_got; });
+      [&](net::NodeId, const SharedBytes&) { ++c_got; });
   a.endpoint.SendDatagram(group, ToBytes("to the group"));
   sim.Run();
   EXPECT_EQ(b_got, 1);
@@ -362,7 +362,7 @@ TEST(DatagramTest, DatagramsDoNotDisturbConnections) {
   Connection* conn = p.a.endpoint.Connect(2);
   p.sim.Run();
   ASSERT_TRUE(conn->IsEstablished());
-  p.b.endpoint.SetDatagramHandler([](net::NodeId, const Bytes&) {});
+  p.b.endpoint.SetDatagramHandler([](net::NodeId, const SharedBytes&) {});
   p.a.endpoint.SendDatagram(2, ToBytes("dgram"));
   conn->Send(ToBytes("stream"));
   p.sim.Run();
@@ -379,13 +379,13 @@ TEST(RpcClientTest, CallAndResponse) {
   p.sim.Run();  // complete the handshake so the server side exists
   ASSERT_NE(p.accepted, nullptr);
   RpcClient rpc(&p.sim, conn);
-  conn->SetMessageHandler([&](const Bytes& payload) {
+  conn->SetMessageHandler([&](const SharedBytes& payload) {
     Result<Envelope> env = DecodeEnvelope(payload);
     ASSERT_TRUE(env.ok());
     rpc.HandleResponse(*env);
   });
   // Server: echo an IntervalListResp for any request.
-  p.accepted->SetMessageHandler([&](const Bytes& payload) {
+  p.accepted->SetMessageHandler([&](const SharedBytes& payload) {
     Result<Envelope> env = DecodeEnvelope(payload);
     ASSERT_TRUE(env.ok());
     IntervalListResp resp;
@@ -417,11 +417,11 @@ TEST(RpcClientTest, RetriesThroughLoss) {
   p.sim.Run();  // complete the (retried) handshake first
   ASSERT_NE(p.accepted, nullptr);
   RpcClient rpc(&p.sim, conn);
-  conn->SetMessageHandler([&](const Bytes& payload) {
+  conn->SetMessageHandler([&](const SharedBytes& payload) {
     auto env = DecodeEnvelope(payload);
     if (env.ok()) rpc.HandleResponse(*env);
   });
-  p.accepted->SetMessageHandler([&](const Bytes& payload) {
+  p.accepted->SetMessageHandler([&](const SharedBytes& payload) {
     auto env = DecodeEnvelope(payload);
     if (!env.ok()) return;
     p.accepted->Send(EncodeInstallCopiesResp({}, env->rpc_id));
