@@ -12,6 +12,11 @@ namespace {
 constexpr double kRecordOverheadBytes = 21;  // lsn + epoch + flag + length
 constexpr double kBatchOverheadBytes = 25;   // envelope + client + epoch
 constexpr double kAckBytes = 9;              // NewHighLsn body
+// Disk stream format (server/track_format.h): each interleaved stream
+// entry stores client + lsn + epoch + flag + length alongside the data,
+// and each track a CRC + count header.
+constexpr double kStreamEntryOverheadBytes = 25;
+constexpr double kTrackHeaderBytes = 8;
 
 }  // namespace
 
@@ -61,8 +66,16 @@ CapacityOutputs ComputeCapacity(const CapacityInputs& in) {
 
   const double bytes_per_server_per_sec =
       out.log_bytes_per_sec_total / in.servers;
+  // Tracks are packed with encoded stream entries, so the write rate is
+  // driven by the stored bytes (data + per-record framing) against the
+  // track's usable payload.
+  const double stored_bytes_per_server_per_sec =
+      (out.log_bytes_per_sec_total +
+       records_per_sec * in.copies * kStreamEntryOverheadBytes) /
+      in.servers;
   const double tracks_per_server_per_sec =
-      bytes_per_server_per_sec / in.disk_track_bytes;
+      stored_bytes_per_server_per_sec /
+      (in.disk_track_bytes - kTrackHeaderBytes);
   out.cpu_fraction_logging =
       (out.rpcs_per_sec_per_server_batched * in.instr_per_message_logging +
        tracks_per_server_per_sec * in.instr_per_track_write) /

@@ -438,7 +438,8 @@ void LogClient::StreamMulticast() {
       msg.trace = send.trace;
       msg.span = send.span;
     }
-    endpoint_->SendDatagram(Group(), wire::EncodeRecordBatch(type, msg));
+    endpoint_->SendDatagram(Group(), wire::EncodeRecordBatch(type, msg),
+                            msg.trace, msg.span);
     batches_sent_.Increment();
     batch_bytes = wire::RecordBatchOverhead();
     batch_forced = false;
@@ -486,7 +487,8 @@ void LogClient::StreamMulticast() {
         ping.span = send.span;
       }
       link->conn->Send(
-          wire::EncodeRecordBatch(wire::MessageType::kForceLog, ping));
+          wire::EncodeRecordBatch(wire::MessageType::kForceLog, ping),
+          ping.trace, ping.span);
     }
   }
 }
@@ -543,7 +545,8 @@ void LogClient::StreamTo(ServerLink* link) {
       msg.trace = send.trace;
       msg.span = send.span;
     }
-    link->conn->Send(wire::EncodeRecordBatch(type, msg));
+    link->conn->Send(wire::EncodeRecordBatch(type, msg), msg.trace,
+                     msg.span);
     batches_sent_.Increment();
     batch_bytes = wire::RecordBatchOverhead();
     batch_forced = false;
@@ -597,7 +600,8 @@ void LogClient::StreamTo(ServerLink* link) {
       ping.span = send.span;
     }
     link->conn->Send(
-        wire::EncodeRecordBatch(wire::MessageType::kForceLog, ping));
+        wire::EncodeRecordBatch(wire::MessageType::kForceLog, ping),
+        ping.trace, ping.span);
   }
 }
 
@@ -689,7 +693,8 @@ void LogClient::OnMissingInterval(ServerLink* link, Lsn low, Lsn high) {
     batch.span = send.span;
   }
   link->conn->Send(
-      wire::EncodeRecordBatch(wire::MessageType::kForceLog, batch));
+      wire::EncodeRecordBatch(wire::MessageType::kForceLog, batch),
+      batch.trace, batch.span);
 }
 
 void LogClient::ArmRetryTimer() {
@@ -757,7 +762,8 @@ void LogClient::OnRetryTimer() {
       batch.span = send.span;
     }
     link->conn->Send(
-        wire::EncodeRecordBatch(wire::MessageType::kForceLog, batch));
+        wire::EncodeRecordBatch(wire::MessageType::kForceLog, batch),
+        batch.trace, batch.span);
   }
   for (ServerLink* link : to_switch) SwitchAwayFrom(link);
   PumpSends();

@@ -172,6 +172,7 @@ class LogClient {
   void RegisterMetrics(obs::MetricsRegistry* registry) const;
 
   // --- Statistics ---
+  sim::Cpu& cpu() { return *cpu_; }
   sim::Histogram& force_latency_ms() { return force_latency_ms_; }
   sim::Counter& records_sent() { return records_sent_; }
   sim::Counter& batches_sent() { return batches_sent_; }

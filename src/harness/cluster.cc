@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "common/bytes.h"
+
 namespace dlog::harness {
 
 Status ClusterConfig::Validate() const {
@@ -27,6 +29,18 @@ Cluster::Cluster(const ClusterConfig& config)
     net::NetworkConfig net_cfg = config.network;
     net_cfg.seed = config.seed * 1000 + i;
     networks_.push_back(std::make_unique<net::Network>(&sim_, net_cfg));
+    if (config.profiling) {
+      net::Network* network = networks_.back().get();
+      const std::string name = "net-" + std::to_string(i);
+      network->SetBusyProbe([this, name](sim::Time s, sim::Time e) {
+        profiler_.RecordBusy(name, s, e);
+      });
+      network->SetPacketProbe([this](const net::Network::PacketTiming& t) {
+        profiler_.RecordPacket({t.trace, t.span, t.src, t.dst,
+                                t.wire_bytes, t.enqueue, t.tx_start,
+                                t.tx_end, t.arrival, t.delivered});
+      });
+    }
   }
   for (int i = 0; i < config.num_servers; ++i) {
     server::LogServerConfig server_cfg = config.server;
@@ -35,11 +49,39 @@ Cluster::Cluster(const ClusterConfig& config)
     for (auto& network : networks_) server->AttachNetwork(network.get());
     server->SetTracer(&tracer_);
     server->RegisterMetrics(&metrics_);
+    if (config.profiling) {
+      // A server's CPU/disk/NVRAM objects survive Crash()/Restart(), so
+      // attaching once here covers the node's whole lifetime.
+      const std::string name = "server-" + std::to_string(i + 1);
+      profiler_.SetNodeName(server_cfg.node_id, name);
+      server->cpu().SetBusyProbe([this, name](sim::Time s, sim::Time e) {
+        profiler_.RecordBusy(name + "/cpu", s, e);
+      });
+      server->disk().SetRequestProbe(
+          [this, name](const storage::SimDisk::RequestTiming& t) {
+            profiler_.RecordDisk(name + "/disk",
+                                 {t.track, t.is_write, t.submitted,
+                                  t.start, t.seek, t.rotation, t.transfer,
+                                  t.end});
+          });
+      server->nvram_buffer().SetOccupancyProbe([this, name](size_t used) {
+        profiler_.RecordLevel(name + "/nvram", sim_.Now(),
+                              static_cast<double>(used));
+      });
+    }
     servers_.push_back(std::move(server));
   }
   chaos_ = std::make_unique<chaos::ChaosController>(&sim_, this);
   chaos_->SetTracer(&tracer_);
   chaos_->RegisterMetrics(&metrics_);
+  // The process-wide copy counter, visible in every snapshot/diff instead
+  // of needing bespoke plumbing in each bench. Reported relative to
+  // cluster construction so identical runs in one process (determinism
+  // tests re-running a config) snapshot identical values.
+  const uint64_t bytes_copied_base = dlog::BytesCopied();
+  metrics_.RegisterCallback("process/bytes_copied", [bytes_copied_base]() {
+    return static_cast<double>(dlog::BytesCopied() - bytes_copied_base);
+  });
 }
 
 std::vector<net::NodeId> Cluster::server_ids() const {
@@ -56,6 +98,16 @@ std::unique_ptr<client::LogClient> Cluster::BuildClient(
   for (auto& network : networks_) node->AttachNetwork(network.get());
   node->SetTracer(&tracer_);
   node->RegisterMetrics(&metrics_);
+  if (config_.profiling) {
+    // Re-attached on every (re)build: a restarted client is a new object
+    // with a new CPU, feeding the same per-identity timeline.
+    const std::string name =
+        "client-" + std::to_string(config.client_id);
+    profiler_.SetNodeName(config.node_id, name);
+    node->cpu().SetBusyProbe([this, name](sim::Time s, sim::Time e) {
+      profiler_.RecordBusy(name + "/cpu", s, e);
+    });
+  }
   return node;
 }
 

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "net/network.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "server/log_server.h"
 #include "sim/simulator.h"
@@ -59,6 +60,13 @@ struct ClusterConfig {
   /// every traced operation; export with obs::ChromeTraceJson. Off by
   /// default: bulk experiments should not accumulate span memory.
   bool tracing = false;
+  /// When true the cluster wires every resource's probe hooks (CPUs,
+  /// LANs, disk arms, NVRAM buffers, per-packet timing) into an owned
+  /// obs::Profiler: exact utilization timelines plus — combined with
+  /// `tracing` — per-component ForceLog latency attribution and
+  /// critical-path extraction. Off by default for the same reason as
+  /// tracing.
+  bool profiling = false;
   uint64_t seed = 1;
 
   /// OK iff the deployment is constructible (at least one server and
@@ -93,6 +101,9 @@ class Cluster : public chaos::FaultTargets {
   /// here for their whole lifetime.
   obs::Tracer& tracer() { return tracer_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
+  /// The resource profiler (collecting only when ClusterConfig::profiling
+  /// is set; empty otherwise).
+  obs::Profiler& profiler() { return profiler_; }
 
   /// Injects scheduled or Markov-sampled faults into this cluster.
   chaos::ChaosController& chaos() { return *chaos_; }
@@ -173,6 +184,7 @@ class Cluster : public chaos::FaultTargets {
   /// Declared before the nodes that hold pointers into them.
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
+  obs::Profiler profiler_;
   std::vector<std::unique_ptr<net::Network>> networks_;
   std::vector<std::unique_ptr<server::LogServer>> servers_;
   std::vector<ClientSlot> clients_;

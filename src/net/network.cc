@@ -59,19 +59,30 @@ void Network::Send(const Packet& packet) {
   // Serialize transmissions on the shared medium.
   const sim::Duration tx_time = sim::SecondsToDuration(
       static_cast<double>(bits) / config_.bandwidth_bits_per_sec);
-  const sim::Time tx_start = std::max(sim_->Now(), medium_free_at_);
+  const sim::Time enqueue = sim_->Now();
+  const sim::Time tx_start = std::max(enqueue, medium_free_at_);
   medium_free_at_ = tx_start + tx_time;
   const sim::Time arrival = medium_free_at_ + config_.propagation_delay;
+  if (busy_probe_) busy_probe_(tx_start, medium_free_at_);
+
+  PacketTiming timing;
+  timing.trace = packet.trace;
+  timing.span = packet.span;
+  timing.src = packet.src;
+  timing.wire_bytes = packet.WireSize(config_.header_bytes);
+  timing.enqueue = enqueue;
+  timing.tx_start = tx_start;
+  timing.tx_end = medium_free_at_;
 
   if (IsMulticast(packet.dst)) {
     auto it = groups_.find(packet.dst);
     if (it == groups_.end()) return;
     for (NodeId member : it->second) {
       if (member == packet.src) continue;
-      DeliverTo(member, packet, arrival);
+      DeliverTo(member, packet, arrival, timing);
     }
   } else {
-    DeliverTo(packet.dst, packet, arrival);
+    DeliverTo(packet.dst, packet, arrival, timing);
   }
 }
 
@@ -110,14 +121,18 @@ void Network::ClearLinkFault(NodeId src, NodeId dst) {
 void Network::ClearLinkFaults() { link_faults_.clear(); }
 
 void Network::DeliverTo(NodeId dst, const Packet& packet,
-                        sim::Time arrival) {
+                        sim::Time arrival, PacketTiming timing) {
+  timing.dst = dst;
+  timing.arrival = arrival;
   if (Partitioned(packet.src, dst)) {
     packets_partition_dropped_.Increment();
+    if (packet_probe_) packet_probe_(timing);
     return;
   }
   auto it = nodes_.find(dst);
   if (it == nodes_.end()) {
     packets_lost_.Increment();
+    if (packet_probe_) packet_probe_(timing);
     return;
   }
   if (!link_faults_.empty()) {
@@ -126,9 +141,11 @@ void Network::DeliverTo(NodeId dst, const Packet& packet,
       if (fault->second.extra_loss > 0 &&
           rng_.Bernoulli(fault->second.extra_loss)) {
         packets_lost_.Increment();
+        if (packet_probe_) packet_probe_(timing);
         return;
       }
       arrival += fault->second.extra_latency;
+      timing.arrival = arrival;
     }
   }
   int copies = 1;
@@ -140,6 +157,8 @@ void Network::DeliverTo(NodeId dst, const Packet& packet,
              rng_.Bernoulli(config_.duplicate_probability)) {
     copies = 2;
   }
+  timing.delivered = copies > 0;
+  if (packet_probe_) packet_probe_(timing);
   Nic* nic = it->second;
   for (int i = 0; i < copies; ++i) {
     // Packet carries a refcounted payload: this capture shares the

@@ -97,6 +97,35 @@ class Network {
 
   const NetworkConfig& config() const { return config_; }
 
+  /// Medium busy-interval probe: invoked once per accepted transmission
+  /// with the interval [tx_start, tx_end) the shared medium is occupied.
+  /// Transmissions serialize, so intervals never overlap and arrive in
+  /// non-decreasing start order — an exact utilization timeline feed.
+  using BusyProbe = std::function<void(sim::Time start, sim::Time end)>;
+  void SetBusyProbe(BusyProbe probe) { busy_probe_ = std::move(probe); }
+
+  /// Per-delivery timing record for latency attribution: when the packet
+  /// was offered to the medium (enqueue), when its transmission started
+  /// and ended on the shared medium, and when this copy reached `dst`
+  /// (including propagation and any link-fault latency). `delivered` is
+  /// false for copies dropped by loss, partition, or a missing NIC.
+  struct PacketTiming {
+    uint64_t trace = 0;  // Packet::trace (0 = untraced)
+    uint64_t span = 0;   // Packet::span
+    NodeId src = 0;
+    NodeId dst = 0;
+    size_t wire_bytes = 0;
+    sim::Time enqueue = 0;
+    sim::Time tx_start = 0;
+    sim::Time tx_end = 0;
+    sim::Time arrival = 0;
+    bool delivered = false;
+  };
+  using PacketProbe = std::function<void(const PacketTiming&)>;
+  void SetPacketProbe(PacketProbe probe) {
+    packet_probe_ = std::move(probe);
+  }
+
   /// Total payload+header bits accepted for transmission.
   uint64_t bits_sent() const { return bits_sent_; }
   /// Offered-load utilization of the medium since construction.
@@ -111,7 +140,8 @@ class Network {
   }
 
  private:
-  void DeliverTo(NodeId dst, const Packet& packet, sim::Time arrival);
+  void DeliverTo(NodeId dst, const Packet& packet, sim::Time arrival,
+                 PacketTiming timing);
 
   sim::Simulator* sim_;
   NetworkConfig config_;
@@ -132,6 +162,8 @@ class Network {
   sim::Counter packets_lost_;
   sim::Counter packets_oversized_;
   sim::Counter packets_partition_dropped_;
+  BusyProbe busy_probe_;
+  PacketProbe packet_probe_;
 };
 
 /// A network interface with a finite receive ring. Section 4.1: "Log

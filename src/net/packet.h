@@ -27,6 +27,13 @@ struct Packet {
   NodeId src = 0;
   NodeId dst = 0;
   SharedBytes payload;
+  /// Causal-span identity of the message this packet carries (obs trace
+  /// and span ids; 0 = untraced). Plain integers here so the network
+  /// layer needs no observability dependency: the wire layer stamps them
+  /// and the network's packet probe reports per-packet queue/transmit/
+  /// delivery timing against them for latency attribution.
+  uint64_t trace = 0;
+  uint64_t span = 0;
 
   /// Total bytes on the wire, including link-level header/trailer.
   size_t WireSize(size_t header_bytes) const {

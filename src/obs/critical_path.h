@@ -1,0 +1,72 @@
+#ifndef DLOG_OBS_CRITICAL_PATH_H_
+#define DLOG_OBS_CRITICAL_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dlog::obs {
+
+/// Critical-path extraction over the recorded span forest.
+///
+/// Within one trace the spans form a tree (wire.send children under the
+/// force/commit spans, track.write under wire.send, ...). The critical
+/// path of a closed root span is the chain of spans that determined its
+/// completion time: starting at the root, repeatedly descend into the
+/// child that finished last (its end bounds when the parent could close).
+/// Every sibling passed over gets a `slack` — how much later it could
+/// have finished without delaying the parent — which is the profiler's
+/// "where would optimization NOT help" signal.
+
+/// One span on (or adjacent to) a critical path.
+struct PathStep {
+  SpanId span = kNoSpan;
+  std::string name;
+  std::string node;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  /// Time this span itself was the completion frontier: its end minus
+  /// its on-path child's end (or minus its own start at the leaf). Self
+  /// times telescope: they sum to root end minus leaf start.
+  sim::Duration self = 0;
+};
+
+/// An off-path span with its slack against the on-path sibling.
+struct SlackEntry {
+  SpanId span = kNoSpan;
+  std::string name;
+  std::string node;
+  /// How much later this span could have ended without moving its
+  /// parent's completion (on-path sibling's end minus this span's end).
+  sim::Duration slack = 0;
+};
+
+struct CriticalPath {
+  TraceId trace = kNoTrace;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  /// Root-to-leaf chain of latest-finishing spans.
+  std::vector<PathStep> steps;
+  /// Closed spans in the tree that are not on the chain, with slack.
+  std::vector<SlackEntry> off_path;
+};
+
+/// Extracts one CriticalPath per *closed root* span, in root-id order.
+/// Open spans (e.g. a wire.send whose packet was lost) never appear on a
+/// path — their completion time is unknown — but are listed off-path with
+/// zero slack. Instants participate like zero-duration spans. The result
+/// is a pure function of the span stream, hence deterministic per
+/// (config, seed).
+std::vector<CriticalPath> ExtractCriticalPaths(const Tracer& tracer);
+
+/// Fixed-point text table, one block per path:
+///   trace=7 [1234.000..5678.000]us total=4444.000us
+///     > client-0 txn          self=12.000us  [1234.000..5678.000]
+///     > client-0 ForceLog     self=...
+///   slack: server-1 wire.send +300.000us ...
+std::string CriticalPathText(const std::vector<CriticalPath>& paths);
+
+}  // namespace dlog::obs
+
+#endif  // DLOG_OBS_CRITICAL_PATH_H_

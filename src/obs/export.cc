@@ -48,6 +48,21 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Stable span-name -> Chrome reserved color-name mapping. Unknown names
+/// share a neutral color; the mapping is what gives each attribution
+/// component its own lane color in the viewer.
+const char* ColorFor(const std::string& name) {
+  if (name == "txn") return "good";
+  if (name == "commit") return "rail_response";
+  if (name == "ForceLog") return "thread_state_running";
+  if (name == "wal.group") return "rail_animation";
+  if (name == "wire.send") return "thread_state_iowait";
+  if (name == "track.write") return "rail_load";
+  if (name == "nvram.buffer") return "thread_state_runnable";
+  if (name == "force.ack") return "cq_build_passed";
+  return "generic_work";
+}
+
 }  // namespace
 
 std::string ChromeTraceJson(const Tracer& tracer) {
@@ -86,6 +101,71 @@ std::string ChromeTraceJson(const Tracer& tracer) {
       AppendF(&out, ",\"%s\":%" PRIu64, JsonEscape(key).c_str(), value);
     }
     out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string ChromeTraceJsonColored(const Tracer& tracer,
+                                   const std::vector<CriticalPath>& paths) {
+  std::map<std::string, int> tids;
+  for (const Span& span : tracer.spans()) {
+    tids.try_emplace(span.node, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  AppendF(&out,
+          "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+          "\"args\":{\"name\":\"critical-path\"}}");
+  first = false;
+  for (const auto& [node, tid] : tids) {
+    if (!first) out += ",";
+    first = false;
+    AppendF(&out,
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"%s\"}}",
+            tid, JsonEscape(node).c_str());
+  }
+  for (const Span& span : tracer.spans()) {
+    const sim::Time end = span.open ? span.start : span.end;
+    if (!first) out += ",";
+    first = false;
+    AppendF(&out,
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+            "\"cname\":\"%s\",\"ts\":",
+            tids[span.node], JsonEscape(span.name).c_str(),
+            ColorFor(span.name));
+    AppendMicros(&out, span.start);
+    out += ",\"dur\":";
+    AppendMicros(&out, end - span.start);
+    AppendF(&out,
+            ",\"cat\":\"dlog\",\"args\":{\"trace\":%" PRIu64
+            ",\"span\":%" PRIu64 ",\"parent\":%" PRIu64,
+            span.trace, span.id, span.parent);
+    if (span.open) out += ",\"open\":1";
+    for (const auto& [key, value] : span.args) {
+      AppendF(&out, ",\"%s\":%" PRIu64, JsonEscape(key).c_str(), value);
+    }
+    out += "}}";
+  }
+  // The gating chain, re-emitted contiguously in its own lane.
+  for (const CriticalPath& path : paths) {
+    for (const PathStep& step : path.steps) {
+      if (!first) out += ",";
+      first = false;
+      AppendF(&out,
+              "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"%s\","
+              "\"cname\":\"%s\",\"ts\":",
+              JsonEscape(step.name).c_str(), ColorFor(step.name));
+      AppendMicros(&out, step.start);
+      out += ",\"dur\":";
+      AppendMicros(&out, step.end - step.start);
+      AppendF(&out,
+              ",\"cat\":\"dlog.critical\",\"args\":{\"trace\":%" PRIu64
+              ",\"span\":%" PRIu64 ",\"self_ns\":%" PRIu64 "}}",
+              path.trace, step.span, step.self);
+    }
   }
   out += "]}\n";
   return out;

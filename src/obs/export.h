@@ -2,8 +2,10 @@
 #define DLOG_OBS_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "obs/critical_path.h"
 #include "obs/trace.h"
 
 namespace dlog::obs {
@@ -16,6 +18,15 @@ namespace dlog::obs {
 /// Spans still open at export time are emitted with zero duration and
 /// "open":1 (e.g. a wire.send whose packet the network dropped).
 std::string ChromeTraceJson(const Tracer& tracer);
+
+/// ChromeTraceJson plus profiler decoration: every span gets a stable
+/// per-component color ("cname") keyed by its name, and each extracted
+/// critical path is re-emitted as a synthetic "critical-path" lane
+/// (tid 0) so the gating chain reads as one contiguous colored row in
+/// the trace viewer. Also a pure function of its inputs (byte-identical
+/// per config/seed).
+std::string ChromeTraceJsonColored(const Tracer& tracer,
+                                   const std::vector<CriticalPath>& paths);
 
 /// A compact fixed-point text rendering for tests and terminal diffing:
 /// one line per span, in creation order:

@@ -53,6 +53,7 @@ void MetricsRegistry::RegisterCounter(const std::string& name,
   EraseName(&gauges_, name);
   EraseName(&tw_gauges_, name);
   EraseName(&histograms_, name);
+  EraseName(&callbacks_, name);
   counters_[name] = c;
 }
 
@@ -61,6 +62,7 @@ void MetricsRegistry::RegisterGauge(const std::string& name,
   EraseName(&counters_, name);
   EraseName(&tw_gauges_, name);
   EraseName(&histograms_, name);
+  EraseName(&callbacks_, name);
   gauges_[name] = g;
 }
 
@@ -69,6 +71,7 @@ void MetricsRegistry::RegisterTimeWeightedGauge(
   EraseName(&counters_, name);
   EraseName(&gauges_, name);
   EraseName(&histograms_, name);
+  EraseName(&callbacks_, name);
   tw_gauges_[name] = g;
 }
 
@@ -77,7 +80,17 @@ void MetricsRegistry::RegisterHistogram(const std::string& name,
   EraseName(&counters_, name);
   EraseName(&gauges_, name);
   EraseName(&tw_gauges_, name);
+  EraseName(&callbacks_, name);
   histograms_[name] = h;
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       std::function<double()> fn) {
+  EraseName(&counters_, name);
+  EraseName(&gauges_, name);
+  EraseName(&tw_gauges_, name);
+  EraseName(&histograms_, name);
+  callbacks_[name] = std::move(fn);
 }
 
 void MetricsRegistry::UnregisterPrefix(const std::string& prefix) {
@@ -85,6 +98,7 @@ void MetricsRegistry::UnregisterPrefix(const std::string& prefix) {
   ErasePrefix(&gauges_, prefix);
   ErasePrefix(&tw_gauges_, prefix);
   ErasePrefix(&histograms_, prefix);
+  ErasePrefix(&callbacks_, prefix);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot(sim::Time now) const {
@@ -107,7 +121,11 @@ MetricsSnapshot MetricsRegistry::Snapshot(sim::Time now) const {
     snap.values[name + "/mean"] = h->Mean();
     snap.values[name + "/p50"] = h->Percentile(0.5);
     snap.values[name + "/p95"] = h->Percentile(0.95);
+    snap.values[name + "/p99"] = h->Percentile(0.99);
     snap.values[name + "/max"] = h->Max();
+  }
+  for (const auto& [name, fn] : callbacks_) {
+    snap.values[name] = fn();
   }
   return snap;
 }
@@ -119,6 +137,7 @@ std::vector<std::string> MetricsRegistry::Names() const {
   for (const auto& [name, g] : gauges_) names.push_back(name);
   for (const auto& [name, g] : tw_gauges_) names.push_back(name);
   for (const auto& [name, h] : histograms_) names.push_back(name);
+  for (const auto& [name, fn] : callbacks_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
 }

@@ -1,8 +1,10 @@
 #ifndef DLOG_OBS_METRICS_H_
 #define DLOG_OBS_METRICS_H_
 
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/stats.h"
@@ -12,7 +14,7 @@ namespace dlog::obs {
 
 /// A point-in-time reading of every registered metric, flattened to
 /// `name -> double` (histograms contribute `name/count`, `/mean`, `/p50`,
-/// `/p95`, `/max` sub-keys). Snapshots are value types: diff two of them
+/// `/p95`, `/p99`, `/max` sub-keys). Snapshots are value types: diff two of them
 /// to get per-interval rates.
 struct MetricsSnapshot {
   sim::Time at = 0;
@@ -53,6 +55,11 @@ class MetricsRegistry {
   void RegisterTimeWeightedGauge(const std::string& name,
                                  const sim::TimeWeightedGauge* g);
   void RegisterHistogram(const std::string& name, const sim::Histogram* h);
+  /// Registers a pull-style metric: `fn` is invoked at Snapshot time.
+  /// For values with no component object to point at — e.g. the
+  /// process-wide dlog::BytesCopied() copy counter.
+  void RegisterCallback(const std::string& name,
+                        std::function<double()> fn);
 
   /// Drops every metric whose name starts with `prefix` (component
   /// teardown).
@@ -67,7 +74,7 @@ class MetricsRegistry {
 
   size_t size() const {
     return counters_.size() + gauges_.size() + tw_gauges_.size() +
-           histograms_.size();
+           histograms_.size() + callbacks_.size();
   }
 
  private:
@@ -75,6 +82,7 @@ class MetricsRegistry {
   std::map<std::string, const sim::Gauge*> gauges_;
   std::map<std::string, const sim::TimeWeightedGauge*> tw_gauges_;
   std::map<std::string, const sim::Histogram*> histograms_;
+  std::map<std::string, std::function<double()>> callbacks_;
 };
 
 }  // namespace dlog::obs

@@ -583,10 +583,14 @@ void LogServer::MaybeFlush() {
     ++count;
   }
   if (count == 0) return;
-  // Only a full (or nearly full) track goes out eagerly; the periodic
-  // timer (flush_timer_ == 0 while its callback runs) and FlushNow()
-  // flush partial tracks.
-  const bool track_full = bytes + 64 >= capacity;
+  // Only a full track goes out eagerly; the periodic timer
+  // (flush_timer_ == 0 while its callback runs) and FlushNow() flush
+  // partial tracks. "Full" means the packing stopped because the next
+  // buffered entry did not fit — a byte-count threshold would leave the
+  // front of the queue permanently under it whenever the packed prefix
+  // happens to end just short (appends never change the front packing),
+  // stalling the drain at one timer flush per interval.
+  const bool track_full = count < nvram_buffer_->size();
   const bool timer_due = flush_timer_ == 0;
   if (!track_full && !timer_due && !force_partial_flush_) return;
 

@@ -148,6 +148,7 @@ class LogServer {
 
   sim::Cpu& cpu() { return *cpu_; }
   storage::SimDisk& disk() { return *disk_; }
+  storage::NvramQueue& nvram_buffer() { return *nvram_buffer_; }
   /// The NIC attached to network `i` (AttachNetwork order).
   net::Nic& nic(int i = 0) { return *nics_[i]; }
   sim::Counter& records_written() { return records_written_; }

@@ -2,6 +2,7 @@
 #define DLOG_SIM_CPU_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "sim/callback.h"
@@ -46,6 +47,14 @@ class Cpu {
   /// Converts an instruction count to execution time on this CPU.
   Duration InstructionsToTime(uint64_t instructions) const;
 
+  /// Busy-interval probe: invoked once per Execute() with the simulated
+  /// interval [start, end) the processor is busy on that work. Intervals
+  /// are reported in submission order with non-decreasing start times
+  /// (FIFO service), which lets a profiler build an exact utilization
+  /// timeline without sampling. Null (the default) costs nothing.
+  using BusyProbe = std::function<void(Time start, Time end)>;
+  void SetBusyProbe(BusyProbe probe) { busy_probe_ = std::move(probe); }
+
  private:
   Simulator* sim_;
   double mips_;
@@ -53,6 +62,7 @@ class Cpu {
   Time free_at_ = 0;        // when previously queued work completes
   Duration busy_time_ = 0;  // total busy time in the current window
   Time window_start_ = 0;
+  BusyProbe busy_probe_;
 };
 
 }  // namespace dlog::sim

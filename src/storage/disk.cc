@@ -27,19 +27,19 @@ sim::Duration SimDisk::RotationTime() const {
   return sim::SecondsToDuration(60.0 / config_.rpm);
 }
 
-sim::Duration SimDisk::ServiceTime(uint64_t track) {
-  sim::Duration t = 0;
+SimDisk::Service SimDisk::ServiceTime(uint64_t track) {
+  Service s;
   // Seek: free if the head is on this track or the immediately following
   // one (sequential streaming, the common case for the log stream).
   const uint64_t head = head_track_;
   const bool sequential = (track == head) || (track == head + 1);
-  if (!sequential) t += config_.avg_seek;
+  if (!sequential) s.seek = config_.avg_seek;
   // Rotational latency: half a rotation on average.
-  t += RotationTime() / 2;
+  s.rotation = RotationTime() / 2;
   // Transfer: a whole track takes one rotation.
-  t += RotationTime();
+  s.transfer = RotationTime();
   head_track_ = track;
-  return t;
+  return s;
 }
 
 void SimDisk::WriteTrack(uint64_t track, Bytes data,
@@ -61,10 +61,14 @@ void SimDisk::WriteTrack(uint64_t track, Bytes data,
 
   const sim::Time submitted = sim_->Now();
   const sim::Time start = std::max(submitted, free_at_);
-  const sim::Duration service = ServiceTime(track);
-  free_at_ = start + service;
-  busy_time_ += service;
+  const Service service = ServiceTime(track);
+  free_at_ = start + service.Total();
+  busy_time_ += service.Total();
   writes_.Increment();
+  if (request_probe_) {
+    request_probe_({track, true, submitted, start, service.seek,
+                    service.rotation, service.transfer, free_at_});
+  }
 
   const uint64_t generation = crash_generation_;
   sim_->At(free_at_, [this, track, data = std::move(data), done, submitted,
@@ -87,11 +91,16 @@ void SimDisk::ReadTrack(uint64_t track,
     return;
   }
 
-  const sim::Time start = std::max(sim_->Now(), free_at_);
-  const sim::Duration service = ServiceTime(track);
-  free_at_ = start + service;
-  busy_time_ += service;
+  const sim::Time submitted = sim_->Now();
+  const sim::Time start = std::max(submitted, free_at_);
+  const Service service = ServiceTime(track);
+  free_at_ = start + service.Total();
+  busy_time_ += service.Total();
   reads_.Increment();
+  if (request_probe_) {
+    request_probe_({track, false, submitted, start, service.seek,
+                    service.rotation, service.transfer, free_at_});
+  }
 
   const uint64_t generation = crash_generation_;
   sim_->At(free_at_, [this, track, done, generation]() {

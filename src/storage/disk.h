@@ -90,9 +90,38 @@ class SimDisk {
   sim::Counter& reads() { return reads_; }
   sim::Histogram& write_latency() { return write_latency_; }
 
+  /// Per-request timing record for the profiler: when the request was
+  /// submitted, when the arm started serving it, and the mechanical
+  /// breakdown (seek / rotational latency / transfer). Requests serialize
+  /// FIFO, so [start, end) intervals never overlap — an exact busy
+  /// timeline for the arm. The probe fires at submission time (the full
+  /// schedule is decided then), including for requests later lost to a
+  /// Crash().
+  struct RequestTiming {
+    uint64_t track = 0;
+    bool is_write = false;
+    sim::Time submitted = 0;
+    sim::Time start = 0;
+    sim::Duration seek = 0;
+    sim::Duration rotation = 0;
+    sim::Duration transfer = 0;
+    sim::Time end = 0;
+  };
+  using RequestProbe = std::function<void(const RequestTiming&)>;
+  void SetRequestProbe(RequestProbe probe) {
+    request_probe_ = std::move(probe);
+  }
+
  private:
-  /// Computes service time and advances head position.
-  sim::Duration ServiceTime(uint64_t track);
+  /// Mechanical components of one whole-track access.
+  struct Service {
+    sim::Duration seek = 0;
+    sim::Duration rotation = 0;
+    sim::Duration transfer = 0;
+    sim::Duration Total() const { return seek + rotation + transfer; }
+  };
+  /// Computes service components and advances head position.
+  Service ServiceTime(uint64_t track);
 
   sim::Simulator* sim_;
   DiskConfig config_;
@@ -105,6 +134,7 @@ class SimDisk {
   sim::Counter writes_;
   sim::Counter reads_;
   sim::Histogram write_latency_;
+  RequestProbe request_probe_;
 };
 
 }  // namespace dlog::storage

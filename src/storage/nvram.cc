@@ -36,6 +36,7 @@ Status NvramQueue::Append(Bytes entry) {
   }
   used_ += entry.size();
   entries_.push_back(std::move(entry));
+  if (occupancy_probe_) occupancy_probe_(used_);
   return Status::OK();
 }
 
@@ -44,6 +45,7 @@ void NvramQueue::PopFront(size_t n) {
     used_ -= entries_.front().size();
     entries_.pop_front();
   }
+  if (occupancy_probe_) occupancy_probe_(used_);
 }
 
 }  // namespace dlog::storage

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -74,10 +76,20 @@ class NvramQueue {
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// Occupancy probe: invoked with the new used-byte count after every
+  /// successful Append and after PopFront. Feeds the profiler's buffer-
+  /// occupancy timeline (the caller timestamps against its simulator; the
+  /// queue itself is timeless).
+  using OccupancyProbe = std::function<void(size_t used_bytes)>;
+  void SetOccupancyProbe(OccupancyProbe probe) {
+    occupancy_probe_ = std::move(probe);
+  }
+
  private:
   size_t capacity_;
   size_t used_ = 0;
   std::deque<Bytes> entries_;
+  OccupancyProbe occupancy_probe_;
 };
 
 /// A single non-volatile integer cell with atomic read/write, used for

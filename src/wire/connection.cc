@@ -38,22 +38,23 @@ void Connection::HandshakeTimeout() {
   StartHandshake();
 }
 
-void Connection::Send(Bytes payload) {
+void Connection::Send(Bytes payload, uint64_t trace, uint64_t span) {
   if (state_ == State::kClosed) return;
   // Make room for the frame trailer now so framing at flush time appends
   // in place without reallocating (and so without copying the payload).
   payload.reserve(payload.size() + Endpoint::kFrameTrailerBytes);
-  send_queue_.push_back(std::move(payload));
+  send_queue_.push_back({std::move(payload), trace, span});
   TryFlush();
 }
 
 void Connection::TryFlush() {
   if (state_ != State::kEstablished) return;
   while (!send_queue_.empty() && next_send_seq_ <= peer_allocation_) {
-    Bytes payload = std::move(send_queue_.front());
+    Outgoing out = std::move(send_queue_.front());
     send_queue_.pop_front();
     endpoint_->SendFrame(peer_, Endpoint::kData, conn_id_, next_send_seq_++,
-                         CurrentGrant(), std::move(payload));
+                         CurrentGrant(), std::move(out.payload), out.trace,
+                         out.span);
     last_advertised_grant_ = CurrentGrant();
   }
   if (!send_queue_.empty()) {
@@ -72,11 +73,11 @@ void Connection::ArmOverrideTimer() {
         if (state_ != State::kEstablished || send_queue_.empty()) return;
         // Exceed the allocation with a single packet after the mandated
         // pause; the receiver may drop it if genuinely overrun.
-        Bytes payload = std::move(send_queue_.front());
+        Outgoing out = std::move(send_queue_.front());
         send_queue_.pop_front();
         endpoint_->SendFrame(peer_, Endpoint::kData, conn_id_,
                              next_send_seq_++, CurrentGrant(),
-                             std::move(payload));
+                             std::move(out.payload), out.trace, out.span);
         last_advertised_grant_ = CurrentGrant();
         if (!send_queue_.empty()) ArmOverrideTimer();
       });
@@ -233,7 +234,7 @@ void Endpoint::Crash() {
 
 void Endpoint::SendFrame(net::NodeId dst, uint8_t frame_type,
                          uint64_t conn_id, uint64_t seq, uint64_t alloc,
-                         Bytes payload) {
+                         Bytes payload, uint64_t trace, uint64_t span) {
   // Frame in place: append the trailer to the payload buffer (reserved
   // headroom makes this a plain append) and hand the buffer itself to
   // the packet. The payload length is stored explicitly so a truncated
@@ -251,7 +252,7 @@ void Endpoint::SendFrame(net::NodeId dst, uint8_t frame_type,
   packets_sent_.Increment();
   // Charge the transmission path CPU cost, then hand to a network.
   cpu_->Execute(config_.instructions_per_packet,
-                [this, dst, frame = std::move(frame)]() {
+                [this, dst, frame = std::move(frame), trace, span]() {
                   if (networks_.empty()) return;
                   auto& [network, nic] = networks_[next_network_];
                   next_network_ = (next_network_ + 1) % networks_.size();
@@ -260,12 +261,15 @@ void Endpoint::SendFrame(net::NodeId dst, uint8_t frame_type,
                   packet.src = id_;
                   packet.dst = dst;
                   packet.payload = frame;
+                  packet.trace = trace;
+                  packet.span = span;
                   network->Send(packet);
                 });
 }
 
-void Endpoint::SendDatagram(net::NodeId dst, Bytes payload) {
-  SendFrame(dst, kDatagram, 0, 0, 0, std::move(payload));
+void Endpoint::SendDatagram(net::NodeId dst, Bytes payload, uint64_t trace,
+                            uint64_t span) {
+  SendFrame(dst, kDatagram, 0, 0, 0, std::move(payload), trace, span);
 }
 
 void Endpoint::OnNicDeliver(const net::Packet& packet, net::Nic* nic) {

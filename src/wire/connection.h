@@ -77,8 +77,10 @@ class Connection {
   /// allocation; when out of allocation the packet waits, and after
   /// `allocation_override_delay` one packet is sent anyway (the deadlock-
   /// prevention rule). Sending on a closed connection is a silent no-op
-  /// (the close handler has already fired).
-  void Send(Bytes payload);
+  /// (the close handler has already fired). `trace`/`span` are optional
+  /// obs span ids stamped on the outgoing packet so the network's packet
+  /// probe can attribute its queueing and transmission time (0 = untraced).
+  void Send(Bytes payload, uint64_t trace = 0, uint64_t span = 0);
 
   bool IsEstablished() const { return state_ == State::kEstablished; }
   bool IsClosed() const { return state_ == State::kClosed; }
@@ -113,10 +115,16 @@ class Connection {
   bool initiator_;
   State state_;
 
-  // Send side.
+  // Send side. Queued payloads keep their span identity so attribution
+  // still works for packets that waited on allocation.
+  struct Outgoing {
+    Bytes payload;
+    uint64_t trace = 0;
+    uint64_t span = 0;
+  };
   uint64_t next_send_seq_ = 1;
   uint64_t peer_allocation_ = 0;  // highest seq we may send
-  std::deque<Bytes> send_queue_;
+  std::deque<Outgoing> send_queue_;
   sim::EventId override_timer_ = 0;
 
   // Receive side: duplicate detection. Because the transport never
@@ -175,8 +183,10 @@ class Endpoint {
   }
   /// `dst` may be a unicast node id or a multicast group id. The payload
   /// is framed in place (taken by value) and, for multicast, one buffer
-  /// is shared by every receiver.
-  void SendDatagram(net::NodeId dst, Bytes payload);
+  /// is shared by every receiver. `trace`/`span` stamp the packet for the
+  /// profiler (0 = untraced).
+  void SendDatagram(net::NodeId dst, Bytes payload, uint64_t trace = 0,
+                    uint64_t span = 0);
 
   /// Simulates a node crash: all connection state vanishes (it lives in
   /// volatile memory) and the incarnation number advances so that pre-
@@ -214,9 +224,11 @@ class Endpoint {
 
   /// Sends a protocol frame, charging the CPU budget first. Takes the
   /// payload by value: the trailer is appended in place and the buffer
-  /// becomes the packet's refcounted payload without a copy.
+  /// becomes the packet's refcounted payload without a copy. `trace` and
+  /// `span` ride along onto the Packet for the profiler.
   void SendFrame(net::NodeId dst, uint8_t frame_type, uint64_t conn_id,
-                 uint64_t seq, uint64_t alloc, Bytes payload);
+                 uint64_t seq, uint64_t alloc, Bytes payload,
+                 uint64_t trace = 0, uint64_t span = 0);
 
   void OnNicDeliver(const net::Packet& packet, net::Nic* nic);
   void ProcessPacket(const net::Packet& packet);

@@ -247,6 +247,68 @@ TEST(ExportTest, IdenticalRunsExportIdenticalBytes) {
   EXPECT_EQ(run(), run());
 }
 
+// --- exporter edge cases ---
+
+TEST(ExportTest, EmptyTraceExportsValidSkeletons) {
+  sim::Simulator sim;
+  Tracer tracer(&sim);
+  const std::string plain = ChromeTraceJson(tracer);
+  EXPECT_EQ(plain, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+  // The colored export always announces its critical-path lane, even
+  // with nothing to put in it.
+  const std::string colored = ChromeTraceJsonColored(tracer, {});
+  EXPECT_NE(colored.find("\"critical-path\""), std::string::npos);
+  EXPECT_EQ(colored.substr(colored.size() - 3), "]}\n");
+  EXPECT_EQ(TextTimeline(tracer), "");
+}
+
+TEST(ExportTest, JsonSpecialCharactersAreEscaped) {
+  sim::Simulator sim;
+  Tracer tracer(&sim);
+  SpanContext root = tracer.StartTrace("a\"b\\c", "node\n1");
+  sim.RunFor(10);
+  tracer.EndSpan(root);
+  for (const std::string& json :
+       {ChromeTraceJson(tracer),
+        ChromeTraceJsonColored(tracer, ExtractCriticalPaths(tracer))}) {
+    EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+    EXPECT_NE(json.find("node\\u000a1"), std::string::npos);
+    // No raw quote from the name survives to break the JSON string.
+    EXPECT_EQ(json.find("a\"b"), std::string::npos);
+  }
+}
+
+TEST(ExportTest, ZeroDurationSpansExportZeroDur) {
+  sim::Simulator sim;
+  Tracer tracer(&sim);
+  SpanContext root = tracer.StartTrace("txn", "n");
+  tracer.Instant("force.ack", "s", root);
+  tracer.EndSpan(root);  // closes at its start time: zero duration
+  const std::vector<CriticalPath> paths = ExtractCriticalPaths(tracer);
+  const std::string json = ChromeTraceJsonColored(tracer, paths);
+  EXPECT_NE(json.find("\"dur\":0.000"), std::string::npos);
+}
+
+TEST(ExportTest, ColoredExportByteIdenticalAcrossReruns) {
+  auto run = []() {
+    sim::Simulator sim;
+    Tracer tracer(&sim);
+    SpanContext root = tracer.StartTrace("txn", "client-1");
+    sim.RunFor(10);
+    SpanContext send = tracer.StartSpan("wire.send", "client-1", root);
+    sim.RunFor(5);
+    tracer.Instant("force.ack", "server-1", send);
+    tracer.EndSpan(send);
+    sim.RunFor(3);
+    tracer.EndSpan(root);
+    return ChromeTraceJsonColored(tracer, ExtractCriticalPaths(tracer));
+  };
+  const std::string first = run();
+  EXPECT_NE(first.find("\"cname\""), std::string::npos);
+  EXPECT_NE(first.find("dlog.critical"), std::string::npos);
+  EXPECT_EQ(first, run());
+}
+
 // --- BenchReport ---
 
 TEST(BenchReportTest, DeterministicJson) {

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and fail on metric regressions.
+
+The reports are the deterministic obs::BenchReport output:
+
+    {"experiment": "E15", "rows": [{"config": {...}, "metrics": {...}}]}
+
+Rows are matched by their full config dict. Only the declared key
+metrics gate the exit status; every other shared metric is reported
+informationally. A key metric declares its direction:
+
+    --key tps:higher           regression = current < baseline
+    --key force_p95_ms:lower   regression = current > baseline
+
+A relative change beyond --threshold in the bad direction for any key
+metric on any matched row makes the exit status nonzero, which is what
+lets CI gate a perf-smoke run against a committed baseline.
+
+    bench_diff.py baseline.json current.json \
+        --threshold 0.10 --key tps:higher --key force_p95_ms:lower
+
+`--self-test` runs the built-in check that an injected synthetic
+regression is detected (and that an improvement is not), so the gate
+itself is exercised in CI without needing two real runs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    rows = {}
+    for row in report.get("rows", []):
+        key = json.dumps(row.get("config", {}), sort_keys=True)
+        rows[key] = row.get("metrics", {})
+    return report.get("experiment", "?"), rows
+
+
+def parse_keys(specs):
+    """[("tps", "higher"), ...] from ["tps:higher", ...]."""
+    keys = []
+    for spec in specs:
+        name, sep, direction = spec.partition(":")
+        if not sep or direction not in ("higher", "lower"):
+            raise SystemExit(
+                f"bad --key {spec!r}: expected <metric>:higher|lower")
+        keys.append((name, direction))
+    return keys
+
+
+def relative_change(base, cur):
+    if base == 0:
+        return 0.0 if cur == 0 else float("inf")
+    return (cur - base) / abs(base)
+
+
+def diff(base_rows, cur_rows, keys, threshold, out=sys.stdout):
+    """Returns the list of regression description lines."""
+    regressions = []
+    for config, base_metrics in sorted(base_rows.items()):
+        if config not in cur_rows:
+            regressions.append(f"row missing from current report: {config}")
+            continue
+        cur_metrics = cur_rows[config]
+        for name, direction in keys:
+            if name not in base_metrics:
+                continue
+            if name not in cur_metrics:
+                regressions.append(f"{config}: key metric {name} missing")
+                continue
+            base, cur = base_metrics[name], cur_metrics[name]
+            change = relative_change(base, cur)
+            bad = -change if direction == "higher" else change
+            marker = ""
+            if bad > threshold:
+                marker = "  REGRESSION"
+                regressions.append(
+                    f"{config}: {name} {base:g} -> {cur:g} "
+                    f"({change:+.1%}, allowed {direction})")
+            print(f"  {name:32s} {base:12g} -> {cur:12g} "
+                  f"({change:+.1%}){marker}", file=out)
+    return regressions
+
+
+def self_test():
+    base = {"row": {"tps": 100.0, "p95_ms": 5.0, "util": 0.2}}
+    keys = parse_keys(["tps:higher", "p95_ms:lower"])
+    sink = open("/dev/null", "w", encoding="utf-8")
+
+    # Identical reports: clean.
+    assert not diff(base, {"row": dict(base["row"])}, keys, 0.10, sink)
+    # Improvements in both directions: clean.
+    better = {"row": {"tps": 130.0, "p95_ms": 3.0, "util": 0.9}}
+    assert not diff(base, better, keys, 0.10, sink)
+    # Small drift inside the threshold: clean.
+    drift = {"row": {"tps": 95.0, "p95_ms": 5.4, "util": 0.2}}
+    assert not diff(base, drift, keys, 0.10, sink)
+    # Injected throughput regression: detected.
+    slow = {"row": {"tps": 80.0, "p95_ms": 5.0, "util": 0.2}}
+    assert diff(base, slow, keys, 0.10, sink)
+    # Injected latency regression: detected.
+    lat = {"row": {"tps": 100.0, "p95_ms": 9.0, "util": 0.2}}
+    assert diff(base, lat, keys, 0.10, sink)
+    # Non-key metric regressing alone: clean (informational only).
+    # (util is not declared, so no direction gates it.)
+    util = {"row": {"tps": 100.0, "p95_ms": 5.0, "util": 0.9}}
+    assert not diff(base, util, keys, 0.10, sink)
+    # A dropped row is a regression.
+    assert diff(base, {}, keys, 0.10, sink)
+    print("bench_diff self-test passed")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json reports")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed relative change (default 0.10)")
+    parser.add_argument("--key", action="append", default=[],
+                        metavar="METRIC:higher|lower",
+                        help="gated metric and its good direction")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate detects injected regressions")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if not args.baseline or not args.current:
+        parser.error("baseline and current reports are required")
+
+    base_exp, base_rows = load_rows(args.baseline)
+    cur_exp, cur_rows = load_rows(args.current)
+    if base_exp != cur_exp:
+        print(f"experiment mismatch: {base_exp} vs {cur_exp}")
+        return 1
+    keys = parse_keys(args.key)
+    print(f"{base_exp}: {args.baseline} -> {args.current} "
+          f"(threshold {args.threshold:.0%})")
+    regressions = diff(base_rows, cur_rows, keys, args.threshold)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
