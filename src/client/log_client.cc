@@ -70,11 +70,16 @@ Status LogClientConfig::Validate() const {
   if (rpc_attempts < 1) {
     return Status::InvalidArgument("rpc_attempts must be >= 1");
   }
+  DLOG_RETURN_IF_ERROR(retry.Validate());
+  DLOG_RETURN_IF_ERROR(wire.adaptive_window.Validate());
   return Status::OK();
 }
 
 LogClient::LogClient(sim::Simulator* sim, const LogClientConfig& config)
-    : sim_(sim), config_(config), rng_(config.seed) {
+    : sim_(sim),
+      config_(config),
+      rng_(config.seed),
+      retry_policy_(config.retry) {
   DLOG_CHECK_OK(config.Validate());
   if (config_.generator_reps.empty()) {
     const size_t reps = std::min<size_t>(3, config_.servers.size());
@@ -123,6 +128,24 @@ void LogClient::RegisterMetrics(obs::MetricsRegistry* registry) const {
                             &forces_completed_);
   registry->RegisterCounter(prefix + "server_switches", &server_switches_);
   registry->RegisterCounter(prefix + "resends", &resends_);
+  registry->RegisterCounter(prefix + "flow/overloads_received",
+                            &overloads_received_);
+  registry->RegisterCounter(prefix + "flow/backoffs", &backoffs_);
+  registry->RegisterCounter(prefix + "flow/retries_suppressed",
+                            &retries_suppressed_);
+  registry->RegisterCallback(prefix + "flow/retry_budget_tokens",
+                             [this]() { return retry_policy_.tokens(); });
+  // The smallest adaptive window across currently-established links: the
+  // sweep's view of how hard the AIMD loop is squeezing this client.
+  registry->RegisterCallback(prefix + "flow/min_window_bytes", [this]() {
+    double min_window = 0.0;
+    for (const auto& [node, link] : links_) {
+      if (link.conn == nullptr || !link.conn->IsEstablished()) continue;
+      const double w = static_cast<double>(link.conn->window_bytes());
+      if (min_window == 0.0 || w < min_window) min_window = w;
+    }
+    return min_window;
+  });
 }
 
 obs::SpanContext LogClient::ForceContext() const {
@@ -198,7 +221,18 @@ void LogClient::OnServerMessage(net::NodeId node,
   switch (env->type) {
     case wire::MessageType::kNewHighLsn: {
       Result<wire::NewHighLsnMsg> m = wire::DecodeNewHighLsn(env->body);
-      if (m.ok()) OnNewHighLsn(link, m->new_high_lsn);
+      if (m.ok()) {
+        // A real acknowledgment means the server is admitting writes
+        // again: clear any shed backoff.
+        link->shed_rounds = 0;
+        link->shed_until = 0;
+        OnNewHighLsn(link, m->new_high_lsn);
+      }
+      return;
+    }
+    case wire::MessageType::kOverloaded: {
+      Result<wire::OverloadedMsg> m = wire::DecodeOverloaded(env->body);
+      if (m.ok()) OnOverloaded(link, *m);
       return;
     }
     case wire::MessageType::kMissingInterval: {
@@ -388,6 +422,11 @@ void LogClient::PumpSends() {
 void LogClient::StreamMulticast() {
   std::vector<ServerLink*> ws = WriteSet();
   if (ws.size() < static_cast<size_t>(config_.copies)) return;
+  // The group stream reaches every member; while any of them is in a
+  // shed backoff the whole stream waits (the backoff wakeup re-pumps).
+  for (ServerLink* link : ws) {
+    if (InShedBackoff(*link)) return;
+  }
 
   Lsn frontier = ~Lsn{0};
   for (ServerLink* link : ws) frontier = std::min(frontier, link->sent_high);
@@ -495,6 +534,9 @@ void LogClient::StreamMulticast() {
 
 void LogClient::StreamTo(ServerLink* link) {
   if (link->conn == nullptr) return;
+  // A shed server gets no new batches until its backoff expires (the
+  // OnOverloaded wakeup re-pumps).
+  if (InShedBackoff(*link)) return;
 
   // Is there an outstanding force this link has not yet acknowledged?
   Lsn force_upto = kNoLsn;
@@ -623,6 +665,49 @@ void LogClient::OnNewHighLsn(ServerLink* link, Lsn high) {
   }
 }
 
+bool LogClient::InShedBackoff(const ServerLink& link) const {
+  return link.shed_until > sim_->Now();
+}
+
+void LogClient::OnOverloaded(ServerLink* link,
+                             const wire::OverloadedMsg& msg) {
+  if (crashed_ || !initialized_) return;
+  overloads_received_.Increment();
+  if (config_.retry.enabled) {
+    // Squeeze the transport window too: stop injecting before the
+    // server's queue grows, not after.
+    if (link->conn != nullptr) link->conn->NoteOverload();
+    const sim::Duration backoff =
+        retry_policy_.BackoffFor(link->shed_rounds, &rng_);
+    ++link->shed_rounds;
+    const sim::Duration hint = msg.retry_after_us * sim::kMicrosecond;
+    const sim::Duration wait = std::max(backoff, hint);
+    link->shed_until = sim_->Now() + wait;
+    backoffs_.Increment();
+    if (tracer_ != nullptr) {
+      // Root the instant when no force is being traced: backoffs usually
+      // interrupt background streaming.
+      const obs::SpanContext parent = ForceContext();
+      obs::SpanContext instant =
+          parent.valid()
+              ? tracer_->Instant("flow.backoff", trace_node_, parent)
+              : tracer_->StartTrace("flow.backoff", trace_node_);
+      tracer_->AddArg(instant, "server", link->node);
+      tracer_->AddArg(instant, "wait_us", wait / sim::kMicrosecond);
+      tracer_->EndSpan(instant);
+    }
+    const uint64_t generation = generation_;
+    sim_->After(wait, [this, generation]() {
+      if (generation != generation_ || crashed_ || !initialized_) return;
+      PumpSends();
+    });
+  }
+  // The reply carries the server's stored high LSN: progress the shed
+  // server *did* make keeps counting toward N copies while we back off
+  // (shed != down — N-of-M accounting must not regress).
+  if (msg.high_lsn != kNoLsn) OnNewHighLsn(link, msg.high_lsn);
+}
+
 void LogClient::CheckForceCompletion() {
   // Retire records acknowledged by N servers.
   for (auto it = pending_.begin(); it != pending_.end();) {
@@ -712,6 +797,12 @@ void LogClient::OnRetryTimer() {
   // Per write-set server: any forced record sent there but unacked?
   std::vector<ServerLink*> to_switch;
   for (ServerLink* link : WriteSet()) {
+    if (InShedBackoff(*link)) {
+      // Shed, not dead: the backoff wakeup resumes this link. Counting
+      // these rounds as silence would churn write sets under overload.
+      link->acked_at_last_round = link->acked_high;
+      continue;
+    }
     bool lagging = false;
     for (const auto& [lsn, pr] : pending_) {
       if (pr.forced && pr.sent_to.count(link->node) > 0 &&
@@ -740,6 +831,14 @@ void LogClient::OnRetryTimer() {
     // retries a number of times before moving to a different server."
     EnsureConnected(link);
     if (link->conn == nullptr) continue;
+    // The token bucket bounds the retry rate so resends cannot amplify
+    // an overload; the next timer round tries again. (MissingInterval
+    // gap repair is a correctness path and stays unbudgeted.)
+    if (config_.retry.enabled &&
+        !retry_policy_.TryAcquireRetryToken(sim_->Now())) {
+      retries_suppressed_.Increment();
+      continue;
+    }
     wire::RecordBatch batch;
     batch.client = config_.client_id;
     batch.epoch = epoch_;
@@ -842,6 +941,10 @@ struct LogClient::RepairState {
   size_t copy_calls_needed = 0;
   size_t install_acks = 0;
   bool partial = false;  // some segment could not be repaired
+  /// A failure was an explicit server shed (RpcStatus::kOverloaded), not
+  /// absence: report Overloaded so the caller backs off instead of
+  /// treating the cluster as down.
+  bool overloaded = false;
 };
 
 void LogClient::RepairLog(std::function<void(Status)> done) {
@@ -866,9 +969,15 @@ void LogClient::RepairLog(std::function<void(Status)> done) {
   *process = [this, st, process, finish]() {
     if (st->generation != generation_ || st->finished) return;
     if (st->queue.empty()) {
-      finish(st->partial ? Status::Unavailable(
-                               "some records could not be re-replicated")
-                         : Status::OK());
+      if (!st->partial) {
+        finish(Status::OK());
+      } else if (st->overloaded) {
+        finish(Status::Overloaded(
+            "repair shed by overloaded servers; retry after backoff"));
+      } else {
+        finish(Status::Unavailable(
+            "some records could not be re-replicated"));
+      }
       return;
     }
     RepairState::Work& work = st->queue.front();
@@ -956,6 +1065,10 @@ void LogClient::RepairLog(std::function<void(Status)> done) {
                     auto resp = wire::DecodeCopyLogResp(env->body);
                     ok = resp.ok() &&
                          resp->status == wire::RpcStatus::kOk;
+                    if (resp.ok() &&
+                        resp->status == wire::RpcStatus::kOverloaded) {
+                      st->overloaded = true;
+                    }
                   }
                   if (!ok) {
                     st->partial = true;
@@ -985,6 +1098,11 @@ void LogClient::RepairLog(std::function<void(Status)> done) {
                                 wire::DecodeInstallCopiesResp(ienv->body);
                             iok = iresp.ok() && iresp->status ==
                                                     wire::RpcStatus::kOk;
+                            if (iresp.ok() &&
+                                iresp->status ==
+                                    wire::RpcStatus::kOverloaded) {
+                              st->overloaded = true;
+                            }
                           }
                           if (!iok) {
                             st->partial = true;
@@ -1446,12 +1564,21 @@ void LogClient::StartRecoveryCopy(std::shared_ptr<InitState> st) {
                copy_calls_needed](Result<wire::Envelope> env) {
                 if (st->generation != generation_ || st->finished) return;
                 bool ok = false;
+                bool shed = false;
                 if (env.ok()) {
                   auto resp = wire::DecodeCopyLogResp(env->body);
                   ok = resp.ok() && resp->status == wire::RpcStatus::kOk;
+                  shed = resp.ok() &&
+                         resp->status == wire::RpcStatus::kOverloaded;
                 }
                 if (!ok) {
-                  FinishInit(st, Status::Unavailable("CopyLog failed"));
+                  // An explicit shed is not "server down": report
+                  // Overloaded so the caller retries with backoff rather
+                  // than treating the cluster as unavailable.
+                  FinishInit(st, shed ? Status::Overloaded(
+                                            "CopyLog shed by server")
+                                      : Status::Unavailable(
+                                            "CopyLog failed"));
                   return;
                 }
                 if (++st->copy_acks < copy_calls_needed) {
@@ -1471,14 +1598,20 @@ void LogClient::StartRecoveryCopy(std::shared_ptr<InitState> st) {
                         return;
                       }
                       bool iok = false;
+                      bool ished = false;
                       if (ienv.ok()) {
                         auto iresp = wire::DecodeInstallCopiesResp(ienv->body);
                         iok = iresp.ok() &&
                               iresp->status == wire::RpcStatus::kOk;
+                        ished = iresp.ok() &&
+                                iresp->status == wire::RpcStatus::kOverloaded;
                       }
                       if (!iok) {
-                        FinishInit(st, Status::Unavailable(
-                                           "InstallCopies failed"));
+                        FinishInit(st, ished ? Status::Overloaded(
+                                                   "InstallCopies shed "
+                                                   "by server")
+                                             : Status::Unavailable(
+                                                   "InstallCopies failed"));
                         return;
                       }
                       if (++st->install_acks <

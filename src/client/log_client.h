@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "flow/retry_policy.h"
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -74,6 +75,10 @@ struct LogClientConfig {
   bool multicast_writes = false;
   uint64_t seed = 1;
   wire::WireConfig wire;
+  /// Backoff-and-budget policy applied when a server sheds a batch with
+  /// an Overloaded reply (src/flow). Jitter is drawn from this client's
+  /// own Rng stream (seeded from `seed`), so runs stay byte-identical.
+  flow::RetryPolicyConfig retry;
 
   /// OK iff the configuration can drive the protocol: at least one copy,
   /// `servers.size() >= copies`, nonzero δ and packing budget, positive
@@ -179,7 +184,14 @@ class LogClient {
   sim::Counter& forces_completed() { return forces_completed_; }
   sim::Counter& server_switches() { return server_switches_; }
   sim::Counter& resends() { return resends_; }
+  sim::Counter& overloads_received() { return overloads_received_; }
+  sim::Counter& backoffs() { return backoffs_; }
+  sim::Counter& retries_suppressed() { return retries_suppressed_; }
+  const flow::RetryPolicy& retry_policy() const { return retry_policy_; }
   uint64_t bytes_buffered() const { return bytes_buffered_; }
+  /// Records written but not yet acknowledged by N servers: the backlog
+  /// an application layer watches to apply end-to-end backpressure.
+  size_t pending_records() const { return pending_.size(); }
 
  private:
   struct ServerLink {
@@ -198,6 +210,11 @@ class LogClient {
     /// force of already-streamed records elicits exactly one ack request;
     /// the retry timer covers losses).
     Lsn force_ping_high = 0;
+    /// Consecutive Overloaded sheds from this server (resets on a real
+    /// acknowledgment); drives the exponential backoff.
+    int shed_rounds = 0;
+    /// No new batches go to this server before this time (shed backoff).
+    sim::Time shed_until = 0;
   };
 
   struct PendingRecord {
@@ -225,6 +242,10 @@ class LogClient {
   void OnServerMessage(net::NodeId node, const SharedBytes& payload);
   void OnNewHighLsn(ServerLink* link, Lsn high);
   void OnMissingInterval(ServerLink* link, Lsn low, Lsn high);
+  void OnOverloaded(ServerLink* link, const wire::OverloadedMsg& msg);
+  /// True while `link` sits in a shed backoff and must not receive new
+  /// record batches.
+  bool InShedBackoff(const ServerLink& link) const;
 
   // --- write pipeline ---
   void ChooseWriteSet();
@@ -299,6 +320,10 @@ class LogClient {
   sim::Counter forces_completed_;
   sim::Counter server_switches_;
   sim::Counter resends_;
+  flow::RetryPolicy retry_policy_;
+  sim::Counter overloads_received_;
+  sim::Counter backoffs_;
+  sim::Counter retries_suppressed_;
   uint64_t bytes_buffered_ = 0;
 };
 

@@ -49,9 +49,14 @@ class InMemoryLogServerStub : public LogServerStub {
   ServerId id() const override { return id_; }
   bool IsAvailable() const override { return available_; }
   void SetAvailable(bool available) { available_ = available; }
+  /// Load-shedding fault injection: an up-but-overloaded server rejects
+  /// writes with Overloaded (distinct from down = Unavailable) until the
+  /// flag clears — the reference-model analogue of admission control.
+  void SetShedding(bool shedding) { shedding_ = shedding; }
 
   Status ServerWriteLog(ClientId client, const LogRecord& record) override {
     if (!available_) return Status::Unavailable("server down");
+    if (shedding_) return Status::Overloaded("server shedding load");
     return store_[client].Write(record);
   }
 
@@ -81,6 +86,7 @@ class InMemoryLogServerStub : public LogServerStub {
  private:
   ServerId id_;
   bool available_ = true;
+  bool shedding_ = false;
   std::map<ClientId, server::ClientLogStore> store_;
 };
 

@@ -29,6 +29,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
     case StatusCode::kCorruption:
       return "Corruption";
     case StatusCode::kFailedPrecondition:

@@ -14,7 +14,8 @@ enum class StatusCode {
   kNotFound,         // e.g., ReadLog of an LSN never written
   kInvalidArgument,  // caller error
   kOutOfRange,       // LSN beyond end of log, disk address out of bounds
-  kUnavailable,      // not enough servers up / server shedding load
+  kUnavailable,      // not enough servers up
+  kOverloaded,       // server explicitly shed the request; back off, retry
   kCorruption,       // checksum mismatch, malformed record
   kFailedPrecondition,  // operation illegal in current state
   kAborted,          // operation abandoned (e.g., crash injected)
@@ -53,6 +54,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
@@ -78,6 +82,7 @@ class Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }

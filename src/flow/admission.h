@@ -1,0 +1,79 @@
+#ifndef DLOG_FLOW_ADMISSION_H_
+#define DLOG_FLOW_ADMISSION_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace dlog::flow {
+
+/// Admission-control policy for one log server. Section 4.2 of the paper
+/// licenses servers to "ignore ForceLog and WriteLog messages if they
+/// become too heavily loaded"; with `enabled` the refusal is explicit (an
+/// Overloaded wire reply carrying an advisory retry-after hint) so clients
+/// back off instead of resending into the collapse. With `enabled` false
+/// the controller reproduces the legacy vestigial behavior: shed silently
+/// on the NVRAM-occupancy threshold alone.
+struct AdmissionConfig {
+  bool enabled = true;
+  /// NVRAM group-buffer occupancy fraction above which new WriteLog /
+  /// ForceLog batches are rejected.
+  double nvram_shed_fraction = 0.95;
+  /// Flush backlog, measured in track-sized disk writes implied by the
+  /// buffered bytes, above which batches are rejected even below the
+  /// NVRAM threshold (the disk, not the buffer, is the bottleneck then).
+  /// 0 disables the disk-queue signal.
+  size_t disk_queue_shed_tracks = 0;
+  /// Bounds for the advisory retry-after hint. The hint scales linearly
+  /// with how far past its threshold the strongest overload signal sits,
+  /// so deeper overload pushes clients further away. Deterministic: any
+  /// jitter is the client's job (per-client Rng streams).
+  sim::Duration min_retry_after = 20 * sim::kMillisecond;
+  sim::Duration max_retry_after = 1 * sim::kSecond;
+
+  Status Validate() const;
+};
+
+class AdmissionController {
+ public:
+  struct Decision {
+    bool admit = true;
+    /// Advisory backoff hint carried in the Overloaded reply; zero when
+    /// the batch is admitted.
+    sim::Duration retry_after = 0;
+  };
+
+  explicit AdmissionController(const AdmissionConfig& config)
+      : config_(config) {}
+
+  /// Decides one arriving record batch given the current overload
+  /// signals: NVRAM occupancy in [0, 1] and the flush backlog in track
+  /// writes. Counts the outcome.
+  Decision Admit(double nvram_fraction, size_t disk_queue_tracks);
+
+  /// Registers admitted/shed/overload-reply counters under `prefix`
+  /// (e.g. "server-3/flow/").
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) const;
+
+  const AdmissionConfig& config() const { return config_; }
+  sim::Counter& admitted() { return admitted_; }
+  sim::Counter& shed() { return shed_; }
+  /// Incremented by the owner when an Overloaded reply is actually sent
+  /// (sheds with admission disabled stay silent).
+  sim::Counter& overload_replies() { return overload_replies_; }
+
+ private:
+  AdmissionConfig config_;
+  sim::Counter admitted_;
+  sim::Counter shed_;
+  sim::Counter overload_replies_;
+};
+
+}  // namespace dlog::flow
+
+#endif  // DLOG_FLOW_ADMISSION_H_

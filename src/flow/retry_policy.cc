@@ -1,0 +1,58 @@
+#include "flow/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlog::flow {
+
+Status RetryPolicyConfig::Validate() const {
+  if (initial_backoff == 0) {
+    return Status::InvalidArgument("initial_backoff must be positive");
+  }
+  if (multiplier < 1.0) {
+    return Status::InvalidArgument("multiplier must be >= 1");
+  }
+  if (max_backoff < initial_backoff) {
+    return Status::InvalidArgument("max_backoff < initial_backoff");
+  }
+  if (jitter < 0.0 || jitter > 1.0) {
+    return Status::InvalidArgument("jitter must be in [0, 1]");
+  }
+  if (budget_tokens < 0.0 || budget_refill_per_sec < 0.0) {
+    return Status::InvalidArgument("retry budget must be non-negative");
+  }
+  return Status::OK();
+}
+
+RetryPolicy::RetryPolicy(const RetryPolicyConfig& config)
+    : config_(config), tokens_(config.budget_tokens) {}
+
+sim::Duration RetryPolicy::BackoffFor(int attempt, Rng* rng) const {
+  // Compute in double so large attempt counts saturate at the cap
+  // instead of overflowing.
+  const double cap = static_cast<double>(config_.max_backoff);
+  double b = static_cast<double>(config_.initial_backoff) *
+             std::pow(config_.multiplier, std::max(0, attempt));
+  b = std::min(b, cap);
+  if (config_.jitter > 0.0 && rng != nullptr) {
+    b *= 1.0 - config_.jitter * rng->NextDouble();
+  }
+  return std::max<sim::Duration>(1, static_cast<sim::Duration>(b));
+}
+
+void RetryPolicy::Refill(sim::Time now) {
+  if (now <= last_refill_) return;
+  const double elapsed = sim::DurationToSeconds(now - last_refill_);
+  tokens_ = std::min(config_.budget_tokens,
+                     tokens_ + elapsed * config_.budget_refill_per_sec);
+  last_refill_ = now;
+}
+
+bool RetryPolicy::TryAcquireRetryToken(sim::Time now) {
+  Refill(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace dlog::flow

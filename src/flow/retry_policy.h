@@ -1,0 +1,65 @@
+#ifndef DLOG_FLOW_RETRY_POLICY_H_
+#define DLOG_FLOW_RETRY_POLICY_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/time.h"
+
+namespace dlog::flow {
+
+/// Client-side backoff-and-budget policy applied when a server sheds a
+/// request (explicit Overloaded reply) or a retry is about to be resent.
+/// Backoff is capped jittered exponential; the jitter is drawn from the
+/// caller's deterministic per-client Rng stream so simulation runs stay
+/// byte-identical. The token bucket bounds the *rate* of retries so that
+/// retries cannot amplify an overload into congestion collapse.
+struct RetryPolicyConfig {
+  bool enabled = true;
+  /// Backoff after the first shed; doubles (by `multiplier`) per
+  /// consecutive shed up to `max_backoff`.
+  sim::Duration initial_backoff = 50 * sim::kMillisecond;
+  double multiplier = 2.0;
+  sim::Duration max_backoff = 2 * sim::kSecond;
+  /// Fraction of the backoff randomized: the wait is drawn uniformly from
+  /// [b * (1 - jitter), b]. 0 disables jitter.
+  double jitter = 0.5;
+  /// Token-bucket retry budget: a retry spends one token; the bucket
+  /// holds at most `budget_tokens` and refills at `budget_refill_per_sec`
+  /// tokens per simulated second.
+  double budget_tokens = 10.0;
+  double budget_refill_per_sec = 2.0;
+
+  Status Validate() const;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryPolicyConfig& config);
+
+  /// Backoff before retry number `attempt` (0-based: attempt 0 is the
+  /// first backoff). Jitter comes from `rng`, the owner's deterministic
+  /// stream; the result is in [b * (1 - jitter), b] for the capped
+  /// exponential b.
+  sim::Duration BackoffFor(int attempt, Rng* rng) const;
+
+  /// Spends one retry token if the bucket (lazily refilled from sim
+  /// time) has one; returns false when the budget is exhausted and the
+  /// retry should be suppressed this round.
+  bool TryAcquireRetryToken(sim::Time now);
+
+  /// Current token balance (for metrics).
+  double tokens() const { return tokens_; }
+
+  const RetryPolicyConfig& config() const { return config_; }
+
+ private:
+  void Refill(sim::Time now);
+
+  RetryPolicyConfig config_;
+  double tokens_;
+  sim::Time last_refill_ = 0;
+};
+
+}  // namespace dlog::flow
+
+#endif  // DLOG_FLOW_RETRY_POLICY_H_

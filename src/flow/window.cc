@@ -1,0 +1,51 @@
+#include "flow/window.h"
+
+#include <algorithm>
+
+namespace dlog::flow {
+
+Status AimdConfig::Validate() const {
+  if (min_window_bytes == 0) {
+    return Status::InvalidArgument("min_window_bytes must be positive");
+  }
+  if (initial_window_bytes < min_window_bytes ||
+      initial_window_bytes > max_window_bytes) {
+    return Status::InvalidArgument(
+        "initial_window_bytes outside [min, max] window bounds");
+  }
+  if (decrease_factor <= 0.0 || decrease_factor >= 1.0) {
+    return Status::InvalidArgument("decrease_factor must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+AimdWindow::AimdWindow(const AimdConfig& config)
+    : config_(config), window_(config.initial_window_bytes) {}
+
+bool AimdWindow::Allows(size_t outstanding_bytes,
+                        size_t payload_bytes) const {
+  if (!config_.enabled) return true;
+  if (outstanding_bytes == 0) return true;
+  return outstanding_bytes + payload_bytes <= window_;
+}
+
+void AimdWindow::OnAck(size_t acked_bytes) {
+  if (!config_.enabled || acked_bytes == 0) return;
+  window_ = std::min(config_.max_window_bytes,
+                     window_ + config_.increase_bytes);
+}
+
+void AimdWindow::OnCongestion(sim::Time now) {
+  if (!config_.enabled) return;
+  if (decreased_once_ && now < last_decrease_ + config_.congestion_guard) {
+    return;
+  }
+  window_ = std::max(
+      config_.min_window_bytes,
+      static_cast<size_t>(static_cast<double>(window_) *
+                          config_.decrease_factor));
+  last_decrease_ = now;
+  decreased_once_ = true;
+}
+
+}  // namespace dlog::flow

@@ -1,0 +1,64 @@
+#ifndef DLOG_FLOW_WINDOW_H_
+#define DLOG_FLOW_WINDOW_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "sim/time.h"
+
+namespace dlog::flow {
+
+/// AIMD congestion window over outstanding (sent but unacknowledged)
+/// bytes on one wire connection. The transport's receiver-granted packet
+/// window bounds buffer usage; this window bounds *injection rate* under
+/// overload: it shrinks multiplicatively when the peer sheds (Overloaded
+/// reply) or starves the sender (allocation-override timeout) and grows
+/// additively as acknowledgements advance. Disabled by default so the
+/// transport's seed behavior is unchanged unless a client opts in.
+struct AimdConfig {
+  bool enabled = false;
+  size_t min_window_bytes = 4 * 1024;
+  size_t initial_window_bytes = 64 * 1024;
+  size_t max_window_bytes = 256 * 1024;
+  /// Additive increase applied per acknowledgement event.
+  size_t increase_bytes = 1400;
+  /// Multiplicative decrease factor applied on a congestion signal.
+  double decrease_factor = 0.5;
+  /// Congestion signals closer together than this are coalesced into one
+  /// decrease, so a burst of Overloaded replies for packets of the same
+  /// flight does not collapse the window to the floor.
+  sim::Duration congestion_guard = 50 * sim::kMillisecond;
+
+  Status Validate() const;
+};
+
+class AimdWindow {
+ public:
+  explicit AimdWindow(const AimdConfig& config);
+
+  bool enabled() const { return config_.enabled; }
+  size_t current() const { return window_; }
+
+  /// Whether one more payload of `payload_bytes` may be injected with
+  /// `outstanding_bytes` already in flight. Always true when disabled,
+  /// and always true at zero outstanding so the window can never
+  /// deadlock a connection.
+  bool Allows(size_t outstanding_bytes, size_t payload_bytes) const;
+
+  /// Acknowledgement progress: additive increase.
+  void OnAck(size_t acked_bytes);
+
+  /// Congestion signal (Overloaded reply or send-starvation timeout):
+  /// multiplicative decrease, coalesced within `congestion_guard`.
+  void OnCongestion(sim::Time now);
+
+ private:
+  AimdConfig config_;
+  size_t window_;
+  sim::Time last_decrease_ = 0;
+  bool decreased_once_ = false;
+};
+
+}  // namespace dlog::flow
+
+#endif  // DLOG_FLOW_WINDOW_H_

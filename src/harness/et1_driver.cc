@@ -60,6 +60,11 @@ void Et1Driver::ScheduleNext() {
 }
 
 void Et1Driver::RunOne() {
+  if (config_.max_log_backlog > 0 &&
+      log_->pending_records() > config_.max_log_backlog) {
+    ++txns_shed_;
+    return;
+  }
   const int account =
       static_cast<int>(rng_.NextBelow(config_.bank.accounts));
   const int teller = static_cast<int>(rng_.NextBelow(config_.bank.tellers));

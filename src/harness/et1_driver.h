@@ -23,6 +23,12 @@ struct Et1DriverConfig {
   tp::BankConfig bank;
   tp::EngineConfig engine;
   uint64_t seed = 1;
+  /// End-to-end backpressure: when nonzero, a new transaction is refused
+  /// (counted in txns_shed()) while the log client holds more than this
+  /// many unacknowledged records — the application-level response to
+  /// server overload, closing the loop the servers' Overloaded replies
+  /// start. 0 keeps the legacy open-loop arrivals.
+  size_t max_log_backlog = 0;
 };
 
 /// One simulated transaction-processing node: a replicated-log client, a
@@ -46,6 +52,9 @@ class Et1Driver {
   bool started() const { return started_; }
   uint64_t committed() const { return committed_; }
   uint64_t failed() const { return failed_; }
+  /// Transactions refused at arrival because the log backlog exceeded
+  /// Et1DriverConfig::max_log_backlog.
+  uint64_t txns_shed() const { return txns_shed_; }
   sim::Histogram& txn_latency_ms() { return txn_latency_ms_; }
   client::LogClient& log() { return *log_; }
   tp::TransactionEngine& engine() { return *engine_; }
@@ -71,6 +80,7 @@ class Et1Driver {
   bool stopped_ = false;
   uint64_t committed_ = 0;
   uint64_t failed_ = 0;
+  uint64_t txns_shed_ = 0;
   sim::Histogram txn_latency_ms_;
 };
 

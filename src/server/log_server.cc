@@ -20,10 +20,7 @@ Status LogServerConfig::Validate() const {
   if (flush_interval <= 0) {
     return Status::InvalidArgument("flush_interval must be > 0");
   }
-  if (shed_nvram_fraction <= 0 || shed_nvram_fraction > 1) {
-    return Status::InvalidArgument(
-        "shed_nvram_fraction must be in (0, 1]");
-  }
+  DLOG_RETURN_IF_ERROR(admission.Validate());
   if (max_pending_per_client == 0) {
     return Status::InvalidArgument("max_pending_per_client must be > 0");
   }
@@ -34,7 +31,7 @@ Status LogServerConfig::Validate() const {
 }
 
 LogServer::LogServer(sim::Simulator* sim, const LogServerConfig& config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), config_(config), admission_(config.admission) {
   DLOG_CHECK_OK(config.Validate());
   cpu_ = std::make_unique<sim::Cpu>(sim, config.cpu_mips, "server-cpu");
   endpoint_ = std::make_unique<wire::Endpoint>(sim, cpu_.get(),
@@ -84,6 +81,7 @@ void LogServer::RegisterMetrics(obs::MetricsRegistry* registry) const {
                             &records_truncated_);
   registry->RegisterTimeWeightedGauge(node + "/nvram/occupancy_bytes",
                                       &nvram_occupancy_);
+  admission_.RegisterMetrics(registry, node + "/flow/");
 }
 
 void LogServer::NoteNvramLevel() {
@@ -98,6 +96,12 @@ LogServer::ClientState& LogServer::StateOf(ClientId client) {
 double LogServer::NvramFraction() const {
   return static_cast<double>(nvram_buffer_->used_bytes()) /
          static_cast<double>(nvram_buffer_->capacity());
+}
+
+size_t LogServer::FlushBacklogTracks() const {
+  const size_t capacity = config_.disk.track_bytes - kTrackOverhead;
+  if (capacity == 0) return 0;
+  return nvram_buffer_->used_bytes() / capacity;
 }
 
 void LogServer::OnAccept(wire::Connection* conn) {
@@ -271,10 +275,40 @@ void LogServer::HandleRecords(const ReplyFn& reply,
   const obs::SpanContext batch_ctx{batch->trace, batch->span};
   if (tracer_ != nullptr) tracer_->EndSpan(batch_ctx);
 
-  if (NvramFraction() > config_.shed_nvram_fraction) {
-    // "They are free to ignore ForceLog and WriteLog messages if they
-    // become too heavily loaded."
+  // "They are free to ignore ForceLog and WriteLog messages if they
+  // become too heavily loaded." With admission control enabled the
+  // refusal is explicit: an Overloaded reply carrying a retry-after hint
+  // and this client's stored high LSN, so the client backs off without
+  // miscounting the server's progress. Disabled, the batch is shed
+  // silently (the legacy behavior).
+  const flow::AdmissionController::Decision decision =
+      admission_.Admit(NvramFraction(), FlushBacklogTracks());
+  if (!decision.admit) {
     writes_shed_.Increment();
+    if (config_.admission.enabled) {
+      wire::OverloadedMsg shed;
+      shed.client = batch->client;
+      shed.shed_type = static_cast<uint8_t>(
+          force ? wire::MessageType::kForceLog : wire::MessageType::kWriteLog);
+      auto it = clients_.find(batch->client);
+      shed.high_lsn =
+          it == clients_.end() ? kNoLsn : it->second.store.HighestLsn();
+      shed.retry_after_us = decision.retry_after / sim::kMicrosecond;
+      admission_.overload_replies().Increment();
+      if (tracer_ != nullptr) {
+        // Root the instant when the batch carried no trace context (sheds
+        // mostly hit background streaming, which is untraced).
+        obs::SpanContext instant =
+            batch_ctx.valid()
+                ? tracer_->Instant("flow.shed", trace_node_, batch_ctx)
+                : tracer_->StartTrace("flow.shed", trace_node_);
+        tracer_->AddArg(instant, "client", shed.client);
+        tracer_->AddArg(instant, "retry_after_us", shed.retry_after_us);
+        tracer_->EndSpan(instant);
+      }
+      reply(wire::EncodeOverloaded(shed));
+    }
+    MaybeFlush();
     return;
   }
 

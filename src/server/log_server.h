@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/log_types.h"
+#include "flow/admission.h"
 #include "forest/append_forest.h"
 #include "net/network.h"
 #include "obs/metrics.h"
@@ -46,10 +47,13 @@ struct LogServerConfig {
   /// occupancy (records are already stable in NVRAM, so this is a
   /// capacity matter, not a durability one).
   sim::Duration flush_interval = 100 * sim::kMillisecond;
-  /// Load shedding (Section 4.2: servers "are free to ignore ForceLog and
-  /// WriteLog messages if they become too heavily loaded"): writes are
-  /// ignored above this NVRAM occupancy fraction.
-  double shed_nvram_fraction = 0.95;
+  /// Load shedding / admission control (Section 4.2: servers "are free to
+  /// ignore ForceLog and WriteLog messages if they become too heavily
+  /// loaded"). When `admission.enabled`, overload produces an explicit
+  /// Overloaded reply with a retry-after hint; when disabled, writes are
+  /// silently ignored above `admission.nvram_shed_fraction` (the legacy
+  /// behavior).
+  flow::AdmissionConfig admission;
   /// Reorder buffer cap per client (records held past a gap while waiting
   /// for a resend or NewInterval).
   size_t max_pending_per_client = 128;
@@ -156,6 +160,7 @@ class LogServer {
   sim::Counter& tracks_written() { return tracks_written_; }
   sim::Counter& missing_interval_sent() { return missing_interval_sent_; }
   sim::Counter& writes_shed() { return writes_shed_; }
+  flow::AdmissionController& admission() { return admission_; }
   sim::Counter& read_rpcs() { return read_rpcs_; }
   sim::Counter& records_truncated() { return records_truncated_; }
   /// Records currently stored (online log) for `client`.
@@ -215,12 +220,17 @@ class LogServer {
 
   ClientState& StateOf(ClientId client);
   double NvramFraction() const;
+  /// The flush backlog the buffered bytes imply, in track-sized disk
+  /// writes — the admission controller's disk-queue-depth signal (SimDisk
+  /// serves one write at a time, so queued tracks are delay).
+  size_t FlushBacklogTracks() const;
   void RebuildFromStableStorage();
   /// Samples the NVRAM occupancy gauge after any buffer change.
   void NoteNvramLevel();
 
   sim::Simulator* sim_;
   LogServerConfig config_;
+  flow::AdmissionController admission_;
   std::unique_ptr<sim::Cpu> cpu_;
   std::unique_ptr<wire::Endpoint> endpoint_;
   std::vector<std::unique_ptr<net::Nic>> nics_;

@@ -13,7 +13,8 @@ Connection::Connection(Endpoint* endpoint, net::NodeId peer,
       peer_(peer),
       conn_id_(conn_id),
       initiator_(initiator),
-      state_(initiator ? State::kSynSent : State::kSynReceived) {}
+      state_(initiator ? State::kSynSent : State::kSynReceived),
+      window_(endpoint->config().adaptive_window) {}
 
 uint64_t Connection::CurrentGrant() const {
   return recv_highest_seen_ + endpoint_->config().window_packets;
@@ -47,12 +48,48 @@ void Connection::Send(Bytes payload, uint64_t trace, uint64_t span) {
   TryFlush();
 }
 
+void Connection::NoteAllocation(uint64_t alloc) {
+  if (alloc <= peer_allocation_) return;
+  peer_allocation_ = alloc;
+  if (inflight_.empty()) return;
+  const uint64_t window_packets = endpoint_->config().window_packets;
+  if (alloc <= window_packets) return;
+  // The peer grants `highest seq seen + window_packets`, so this advance
+  // acknowledges every injected seq <= alloc - window_packets (including
+  // seqs the network lost — they will never be acked any other way and
+  // must not pin the adaptive window).
+  const uint64_t acked = alloc - window_packets;
+  size_t acked_bytes = 0;
+  for (auto it = inflight_.begin();
+       it != inflight_.end() && it->first <= acked;) {
+    acked_bytes += it->second;
+    it = inflight_.erase(it);
+  }
+  if (acked_bytes > 0) {
+    bytes_in_flight_ -= acked_bytes;
+    window_.OnAck(acked_bytes);
+  }
+}
+
+void Connection::RecordInflight(uint64_t seq, size_t bytes) {
+  if (!window_.enabled()) return;
+  inflight_[seq] = bytes;
+  bytes_in_flight_ += bytes;
+}
+
+void Connection::NoteOverload() {
+  window_.OnCongestion(endpoint_->simulator()->Now());
+}
+
 void Connection::TryFlush() {
   if (state_ != State::kEstablished) return;
-  while (!send_queue_.empty() && next_send_seq_ <= peer_allocation_) {
+  while (!send_queue_.empty() && next_send_seq_ <= peer_allocation_ &&
+         window_.Allows(bytes_in_flight_, send_queue_.front().payload.size())) {
     Outgoing out = std::move(send_queue_.front());
     send_queue_.pop_front();
-    endpoint_->SendFrame(peer_, Endpoint::kData, conn_id_, next_send_seq_++,
+    const uint64_t seq = next_send_seq_++;
+    RecordInflight(seq, out.payload.size());
+    endpoint_->SendFrame(peer_, Endpoint::kData, conn_id_, seq,
                          CurrentGrant(), std::move(out.payload), out.trace,
                          out.span);
     last_advertised_grant_ = CurrentGrant();
@@ -71,13 +108,18 @@ void Connection::ArmOverrideTimer() {
       endpoint_->config().allocation_override_delay, [this]() {
         override_timer_ = 0;
         if (state_ != State::kEstablished || send_queue_.empty()) return;
+        // Going a full override delay without allocation progress is this
+        // transport's timeout signal: shrink the adaptive window.
+        window_.OnCongestion(endpoint_->simulator()->Now());
         // Exceed the allocation with a single packet after the mandated
         // pause; the receiver may drop it if genuinely overrun.
         Outgoing out = std::move(send_queue_.front());
         send_queue_.pop_front();
-        endpoint_->SendFrame(peer_, Endpoint::kData, conn_id_,
-                             next_send_seq_++, CurrentGrant(),
-                             std::move(out.payload), out.trace, out.span);
+        const uint64_t seq = next_send_seq_++;
+        RecordInflight(seq, out.payload.size());
+        endpoint_->SendFrame(peer_, Endpoint::kData, conn_id_, seq,
+                             CurrentGrant(), std::move(out.payload),
+                             out.trace, out.span);
         last_advertised_grant_ = CurrentGrant();
         if (!send_queue_.empty()) ArmOverrideTimer();
       });
@@ -102,7 +144,7 @@ void Connection::OnFrame(uint8_t frame_type, uint64_t seq, uint64_t alloc,
   switch (frame_type) {
     case Endpoint::kSynAck:
       if (!initiator_) return;
-      peer_allocation_ = std::max(peer_allocation_, alloc);
+      NoteAllocation(alloc);
       if (state_ == State::kSynSent) {
         state_ = State::kEstablished;
         if (handshake_timer_ != 0) {
@@ -122,18 +164,18 @@ void Connection::OnFrame(uint8_t frame_type, uint64_t seq, uint64_t alloc,
       return;
     case Endpoint::kAck:
       if (initiator_) return;
-      peer_allocation_ = std::max(peer_allocation_, alloc);
+      NoteAllocation(alloc);
       if (state_ == State::kSynReceived) state_ = State::kEstablished;
       TryFlush();
       return;
     case Endpoint::kWindow:
-      peer_allocation_ = std::max(peer_allocation_, alloc);
+      NoteAllocation(alloc);
       // Data arriving implies the peer considers us established.
       if (state_ == State::kSynReceived) state_ = State::kEstablished;
       TryFlush();
       return;
     case Endpoint::kData: {
-      peer_allocation_ = std::max(peer_allocation_, alloc);
+      NoteAllocation(alloc);
       if (state_ == State::kSynReceived) state_ = State::kEstablished;
       // Duplicate detection on permanently unique sequence numbers.
       bool duplicate = false;

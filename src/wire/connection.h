@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "flow/window.h"
 #include "net/network.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
@@ -48,6 +49,11 @@ struct WireConfig {
   /// Cluster, for restarted clients) plays the role of that stable cell
   /// by carrying `incarnation() + 1` forward into the new endpoint.
   uint64_t initial_incarnation = 1;
+  /// Optional AIMD window over outstanding bytes (src/flow): bounds how
+  /// fast a sender injects when the peer sheds load or stops advancing
+  /// its allocation. Off by default — the receiver-granted packet window
+  /// alone reproduces the paper's transport.
+  flow::AimdConfig adaptive_window;
 };
 
 class Endpoint;
@@ -90,6 +96,15 @@ class Connection {
   /// Packets queued locally waiting for allocation.
   size_t send_queue_depth() const { return send_queue_.size(); }
 
+  /// Congestion feedback from the layer above (e.g. the log client on an
+  /// Overloaded reply): shrinks the adaptive window multiplicatively.
+  /// No-op when the adaptive window is disabled.
+  void NoteOverload();
+  /// Current adaptive-window size in bytes (its configured initial value
+  /// when disabled) and the bytes currently in flight against it.
+  size_t window_bytes() const { return window_.current(); }
+  size_t outstanding_bytes() const { return bytes_in_flight_; }
+
  private:
   friend class Endpoint;
 
@@ -103,6 +118,13 @@ class Connection {
   void OnFrame(uint8_t frame_type, uint64_t seq, uint64_t alloc,
                const SharedBytes& payload);
   void TryFlush();
+  /// Folds a peer allocation into `peer_allocation_` and, when it
+  /// advances, credits the adaptive window with the bytes the advance
+  /// acknowledges.
+  void NoteAllocation(uint64_t alloc);
+  /// Remembers an injected payload's size against the adaptive window
+  /// (no-op when disabled).
+  void RecordInflight(uint64_t seq, size_t bytes);
   void GrantWindowIfNeeded(bool force);
   /// The allocation we are currently willing to grant the peer.
   uint64_t CurrentGrant() const;
@@ -126,6 +148,16 @@ class Connection {
   uint64_t peer_allocation_ = 0;  // highest seq we may send
   std::deque<Outgoing> send_queue_;
   sim::EventId override_timer_ = 0;
+
+  // Adaptive (AIMD) window over outstanding bytes. The peer's allocation
+  // doubles as the acknowledgment signal: its grant is always
+  // `highest seq seen + window_packets`, so an allocation advance to A
+  // means every seq <= A - window_packets has been seen. `inflight_` maps
+  // injected seq -> payload bytes until acknowledged that way; it stays
+  // empty when the adaptive window is disabled.
+  flow::AimdWindow window_;
+  size_t bytes_in_flight_ = 0;
+  std::map<uint64_t, size_t> inflight_;
 
   // Receive side: duplicate detection. Because the transport never
   // retransmits (loss recovery is end-to-end, Section 4.2), a lost DATA

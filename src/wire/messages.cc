@@ -97,6 +97,17 @@ Bytes EncodeNewHighLsn(const NewHighLsnMsg& m) {
   return out;
 }
 
+Bytes EncodeOverloaded(const OverloadedMsg& m) {
+  Bytes out;
+  Encoder enc(&out);
+  PutHeader(&enc, MessageType::kOverloaded, 0);
+  enc.PutU32(m.client);
+  enc.PutU8(m.shed_type);
+  enc.PutU64(m.high_lsn);
+  enc.PutU64(m.retry_after_us);
+  return out;
+}
+
 Bytes EncodeMissingInterval(const MissingIntervalMsg& m) {
   Bytes out;
   Encoder enc(&out);
@@ -270,7 +281,7 @@ Result<Envelope> DecodeEnvelope(const SharedBytes& wire) {
   Envelope env;
   DLOG_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
   if (type < static_cast<uint8_t>(MessageType::kWriteLog) ||
-      type > static_cast<uint8_t>(MessageType::kTruncateLog)) {
+      type > static_cast<uint8_t>(MessageType::kOverloaded)) {
     return Status::Corruption("unknown message type");
   }
   env.type = static_cast<MessageType>(type);
@@ -311,6 +322,16 @@ Result<NewHighLsnMsg> DecodeNewHighLsn(const SharedBytes& body) {
   Decoder dec(body);
   NewHighLsnMsg m;
   DLOG_ASSIGN_OR_RETURN(m.new_high_lsn, dec.GetU64());
+  return m;
+}
+
+Result<OverloadedMsg> DecodeOverloaded(const SharedBytes& body) {
+  Decoder dec(body);
+  OverloadedMsg m;
+  DLOG_ASSIGN_OR_RETURN(m.client, dec.GetU32());
+  DLOG_ASSIGN_OR_RETURN(m.shed_type, dec.GetU8());
+  DLOG_ASSIGN_OR_RETURN(m.high_lsn, dec.GetU64());
+  DLOG_ASSIGN_OR_RETURN(m.retry_after_us, dec.GetU64());
   return m;
 }
 

@@ -42,6 +42,12 @@ enum class MessageType : uint8_t {
   /// required for node recovery." Asynchronous; the server discards the
   /// client's records with LSNs below the given point.
   kTruncateLog = 19,
+  /// Explicit load-shed reply (Section 4.2 lets servers "ignore ForceLog
+  /// and WriteLog messages if they become too heavily loaded"; this makes
+  /// the refusal visible). Asynchronous server -> client; carries an
+  /// advisory retry-after hint and the server's current stored high LSN
+  /// so the client's N-of-M accounting stays correct while backing off.
+  kOverloaded = 20,
 };
 
 /// Every message starts with a fixed header: type, then an RPC id that is
@@ -82,6 +88,19 @@ struct NewIntervalMsg {
 /// log sequence number".
 struct NewHighLsnMsg {
   Lsn new_high_lsn = kNoLsn;
+};
+
+/// Overloaded: the server's admission controller rejected a WriteLog /
+/// ForceLog batch instead of queueing it.
+struct OverloadedMsg {
+  ClientId client = 0;
+  /// The shed message's type (kWriteLog or kForceLog), as a raw byte.
+  uint8_t shed_type = 0;
+  /// The server's stored high LSN for this client at shed time: progress
+  /// the server *did* make keeps counting toward the client's N copies.
+  Lsn high_lsn = kNoLsn;
+  /// Advisory backoff hint in microseconds (clients may wait longer).
+  uint64_t retry_after_us = 0;
 };
 
 /// MissingInterval: prompt negative acknowledgment naming the LSN gap the
@@ -181,6 +200,7 @@ Bytes EncodeRecordBatch(MessageType type, const RecordBatch& m,
                         uint64_t rpc_id = 0);
 Bytes EncodeNewInterval(const NewIntervalMsg& m);
 Bytes EncodeNewHighLsn(const NewHighLsnMsg& m);
+Bytes EncodeOverloaded(const OverloadedMsg& m);
 Bytes EncodeMissingInterval(const MissingIntervalMsg& m);
 Bytes EncodeIntervalListReq(const IntervalListReq& m, uint64_t rpc_id);
 Bytes EncodeIntervalListResp(const IntervalListResp& m, uint64_t rpc_id);
@@ -210,6 +230,7 @@ Result<Envelope> DecodeEnvelope(const Bytes& wire);
 Result<RecordBatch> DecodeRecordBatch(const SharedBytes& body);
 Result<NewIntervalMsg> DecodeNewInterval(const SharedBytes& body);
 Result<NewHighLsnMsg> DecodeNewHighLsn(const SharedBytes& body);
+Result<OverloadedMsg> DecodeOverloaded(const SharedBytes& body);
 Result<MissingIntervalMsg> DecodeMissingInterval(const SharedBytes& body);
 Result<IntervalListReq> DecodeIntervalListReq(const SharedBytes& body);
 Result<IntervalListResp> DecodeIntervalListResp(const SharedBytes& body);

@@ -327,5 +327,65 @@ TEST(ChaosDeterminismTest, SameSeedAndPlanExportByteIdenticalArtifacts) {
   EXPECT_EQ(first, second);
 }
 
+// Same contract with the full flow stack engaged: admission control shed
+// replies, client retry backoff (jitter drawn from the client's seeded
+// Rng), and adaptive wire windows must all stay pure functions of
+// (config, seed, plan) even while Markov faults crash servers.
+std::string RunFlowFaultedWorkload() {
+  harness::ClusterConfig cfg;
+  cfg.tracing = true;
+  cfg.seed = 11;
+  cfg.server.nvram_bytes = 4000;  // tiny: admission sheds under load
+  cfg.server.admission.nvram_shed_fraction = 0.4;
+  harness::Cluster cluster(cfg);
+
+  client::LogClientConfig ccfg;
+  ccfg.wire.adaptive_window.enabled = true;
+  harness::ClientHandle c = cluster.AddClient(ccfg);
+  EXPECT_TRUE(InitClient(cluster, *c).ok());
+
+  chaos::MarkovFaultConfig markov;
+  markov.mttf = 15 * sim::kSecond;
+  markov.mttr = 2 * sim::kSecond;
+  markov.seed = 33;
+  cluster.chaos().StartMarkov(markov);
+
+  uint64_t committed = 0;
+  for (int round = 0; round < 8; ++round) {
+    // Burst 8 records then force: the burst overruns the tiny NVRAM
+    // admission threshold, so servers shed and the client backs off.
+    Lsn last = kNoLsn;
+    for (int i = 0; i < 8; ++i) {
+      Result<Lsn> lsn = c->WriteLog(ToBytes(std::string(400, 'f')));
+      if (lsn.ok()) last = *lsn;
+    }
+    if (last != kNoLsn && ForceAll(cluster, *c, last).ok()) ++committed;
+    cluster.sim().RunFor(500 * sim::kMillisecond);
+  }
+  cluster.chaos().StopMarkov();
+
+  obs::BenchReport report("chaos_flow_determinism");
+  report.BeginRow();
+  report.SetConfig("seed", 11);
+  report.SetMetric("committed", static_cast<double>(committed));
+  report.SetMetric(
+      "overloads_received",
+      static_cast<double>(c->overloads_received().value()));
+  report.SetMetric("backoffs", static_cast<double>(c->backoffs().value()));
+  report.AddSnapshot("", cluster.metrics().Snapshot(cluster.sim().Now()));
+  return obs::ChromeTraceJson(cluster.tracer()) + "---\n" +
+         report.ToJson();
+}
+
+TEST(ChaosDeterminismTest, FlowEnabledMarkovRunsAreByteIdentical) {
+  const std::string first = RunFlowFaultedWorkload();
+  const std::string second = RunFlowFaultedWorkload();
+  EXPECT_FALSE(first.empty());
+  // The run actually exercised the flow stack.
+  EXPECT_NE(first.find("flow.shed"), std::string::npos);
+  EXPECT_NE(first.find("flow.backoff"), std::string::npos);
+  EXPECT_EQ(first, second);
+}
+
 }  // namespace
 }  // namespace dlog

@@ -269,7 +269,8 @@ TEST(LogServerTest, MismatchedCopyEpochRejected) {
 TEST(LogServerTest, LoadSheddingIgnoresWritesWhenNvramFull) {
   LogServerConfig cfg;
   cfg.nvram_bytes = 600;  // tiny group buffer
-  cfg.shed_nvram_fraction = 0.5;
+  cfg.admission.enabled = false;  // legacy behavior: shed silently
+  cfg.admission.nvram_shed_fraction = 0.5;
   cfg.flush_interval = 60 * sim::kSecond;  // no flushing: stay full
   RawDriver d(cfg);
 
@@ -278,9 +279,66 @@ TEST(LogServerTest, LoadSheddingIgnoresWritesWhenNvramFull) {
   const uint64_t written = d.server->records_written().value();
   d.SendBatch(wire::MessageType::kForceLog, 1,
               {Rec(2, 1, true, std::string(300, 'y'))});
-  // Second write shed silently: no ack progress, no new record.
+  // Second write shed silently: no ack progress, no new record, and no
+  // Overloaded reply (admission control is off).
   EXPECT_EQ(d.server->records_written().value(), written);
   EXPECT_GT(d.server->writes_shed().value(), 0u);
+  EXPECT_EQ(d.CountOf(wire::MessageType::kOverloaded), 0);
+}
+
+TEST(LogServerTest, AdmissionRejectsWithOverloadedReplyAtThreshold) {
+  LogServerConfig cfg;
+  cfg.nvram_bytes = 600;
+  cfg.admission.nvram_shed_fraction = 0.5;
+  cfg.flush_interval = 60 * sim::kSecond;  // no flushing: stay full
+  RawDriver d(cfg);
+
+  d.SendBatch(wire::MessageType::kForceLog, 1,
+              {Rec(1, 1, true, std::string(300, 'x'))});
+  const uint64_t written = d.server->records_written().value();
+  d.SendBatch(wire::MessageType::kForceLog, 1,
+              {Rec(2, 1, true, std::string(300, 'y'))});
+
+  // Past the occupancy threshold the batch is rejected with an explicit
+  // Overloaded reply carrying a retry-after hint and the stored high LSN.
+  EXPECT_EQ(d.server->records_written().value(), written);
+  EXPECT_GT(d.server->writes_shed().value(), 0u);
+  EXPECT_EQ(d.server->admission().overload_replies().value(), 1u);
+  const wire::Envelope* shed = d.Last(wire::MessageType::kOverloaded);
+  ASSERT_NE(shed, nullptr);
+  auto msg = wire::DecodeOverloaded(shed->body);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->client, kClient);
+  EXPECT_EQ(msg->shed_type,
+            static_cast<uint8_t>(wire::MessageType::kForceLog));
+  EXPECT_EQ(msg->high_lsn, 1u);  // the server stored record 1
+  EXPECT_GT(msg->retry_after_us, 0u);
+}
+
+TEST(LogServerTest, AdmissionRecoversAfterDrain) {
+  LogServerConfig cfg;
+  cfg.nvram_bytes = 600;
+  cfg.admission.nvram_shed_fraction = 0.5;
+  // Each Send() runs the sim for 2 s, so the first flush (t=3 s) lands
+  // between the shed second batch and the retry.
+  cfg.flush_interval = 3 * sim::kSecond;
+  RawDriver d(cfg);
+
+  d.SendBatch(wire::MessageType::kForceLog, 1,
+              {Rec(1, 1, true, std::string(300, 'x'))});
+  d.SendBatch(wire::MessageType::kForceLog, 1,
+              {Rec(2, 1, true, std::string(300, 'y'))});
+  EXPECT_GT(d.server->writes_shed().value(), 0u);
+
+  // By the retry the flush has drained the buffer and admission opens
+  // again: the retried record is accepted and force-acknowledged.
+  const uint64_t shed_before = d.server->writes_shed().value();
+  d.SendBatch(wire::MessageType::kForceLog, 1,
+              {Rec(2, 1, true, std::string(300, 'y'))});
+  EXPECT_EQ(d.server->writes_shed().value(), shed_before);
+  const wire::Envelope* ack = d.Last(wire::MessageType::kNewHighLsn);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(wire::DecodeNewHighLsn(ack->body)->new_high_lsn, 2u);
 }
 
 TEST(LogServerTest, GeneratorCellsSurviveCrash) {

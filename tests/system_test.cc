@@ -396,5 +396,51 @@ TEST(SystemTest, ServerForestIndexesDiskResidentRecords) {
   }
 }
 
+TEST(SystemTest, ShedThenRetryForceIsNotDuplicated) {
+  // Servers with a tiny admission threshold shed mid-stream; the client
+  // backs off per the Overloaded hint and re-offers. The force must still
+  // complete, and the retries must not duplicate any record.
+  ClusterConfig cfg;
+  cfg.server.nvram_bytes = 3000;
+  cfg.server.admission.nvram_shed_fraction = 0.4;
+  Cluster cluster(cfg);
+  auto c = cluster.AddClient();
+  ASSERT_TRUE(InitClient(cluster, *c).ok());
+
+  Lsn last = kNoLsn;
+  for (int i = 0; i < 8; ++i) {
+    Result<Lsn> lsn = c->WriteLog(ToBytes(std::string(400, 'a' + i)));
+    ASSERT_TRUE(lsn.ok());
+    last = *lsn;
+  }
+  Status forced = Status::Internal("force never completed");
+  bool done = false;
+  c->ForceLog(last, [&](Status st) {
+    forced = st;
+    done = true;
+  });
+  // Generous deadline: shed rounds back off up to the policy's max.
+  ASSERT_TRUE(cluster.RunUntil([&]() { return done; }, 120 * sim::kSecond));
+  EXPECT_TRUE(forced.ok()) << forced.ToString();
+  // The scenario only proves idempotence if servers actually shed.
+  EXPECT_GT(c->overloads_received().value(), 0u);
+  EXPECT_GT(c->backoffs().value(), 0u);
+
+  // Exactly N copies of every record cluster-wide, and no server holds a
+  // duplicate of any LSN.
+  for (Lsn lsn = 1; lsn <= last; ++lsn) {
+    int holders = 0;
+    for (int s = 1; s <= 3; ++s) {
+      int on_this_server = 0;
+      for (const LogRecord& r : cluster.server(s).RecordsOf(1)) {
+        if (r.lsn == lsn && r.present) ++on_this_server;
+      }
+      EXPECT_LE(on_this_server, 1) << "server " << s << " LSN " << lsn;
+      holders += on_this_server;
+    }
+    EXPECT_EQ(holders, 2) << "LSN " << lsn;
+  }
+}
+
 }  // namespace
 }  // namespace dlog
