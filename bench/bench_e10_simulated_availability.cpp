@@ -32,9 +32,13 @@
 // eight threads — parallelism only changes wall-clock time.
 //
 // Usage: bench_e10_simulated_availability [probes_per_config] [threads]
+//            [shard_workers]
 //   default 4000 probes (a few tens of seconds) on 1 thread; CI soak
 //   uses a small count and the tolerance below widens with the matching
-//   3.5-sigma bound.
+//   3.5-sigma bound. shard_workers > 0 runs every trial cluster on the
+//   sharded parallel engine; predicate waits are quantized on the LAN
+//   propagation delay in both modes, so the JSON is byte-identical to
+//   the serial run at every worker count.
 
 #include <cmath>
 #include <cstdio>
@@ -92,10 +96,16 @@ client::LogClientConfig ProbeClientConfig(uint32_t client_id, int copies) {
   return cfg;
 }
 
-TrialCounts RunTrial(int m, int n, int probes, uint64_t seed) {
+TrialCounts RunTrial(int m, int n, int probes, uint64_t seed,
+                     int shard_workers) {
   harness::ClusterConfig cluster_cfg;
   cluster_cfg.num_servers = m;
   cluster_cfg.seed = seed;
+  cluster_cfg.shard_workers = shard_workers;
+  // Quantized predicate waits in both modes: stopping times become a
+  // pure function of the simulated schedule, so serial and parallel
+  // runs probe at identical instants.
+  cluster_cfg.run_until_quantum = cluster_cfg.network.propagation_delay;
   harness::Cluster cluster(cluster_cfg);
 
   harness::ClientHandle writer = cluster.AddClient(ProbeClientConfig(1, n));
@@ -125,13 +135,13 @@ TrialCounts RunTrial(int m, int n, int probes, uint64_t seed) {
   chaos::MarkovFaultConfig markov;  // 190s/10s defaults: p = 0.05
   markov.seed = seed + 17;
   cluster.chaos().StartMarkov(markov);
-  cluster.sim().RunFor(kWarmup);  // mix toward the stationary state
+  cluster.RunFor(kWarmup);  // mix toward the stationary state
 
   TrialCounts r;
   uint64_t write_ok = 0, init_ok = 0, state_write_ok = 0, state_init_ok = 0;
   Lsn last_forced = kNoLsn;
   for (int i = 0; i < probes; ++i) {
-    const sim::Time probe_start = cluster.sim().Now();
+    const sim::Time probe_start = cluster.Now();
 
     // State sample at the probe instant (the closed forms' condition).
     int down = 0;
@@ -166,8 +176,8 @@ TrialCounts RunTrial(int m, int n, int probes, uint64_t seed) {
     cluster.RestartClient(initer);
     if (init_client(initer)) ++init_ok;
 
-    const sim::Duration spent = cluster.sim().Now() - probe_start;
-    if (spent < kProbeInterval) cluster.sim().RunFor(kProbeInterval - spent);
+    const sim::Duration spent = cluster.Now() - probe_start;
+    if (spent < kProbeInterval) cluster.RunFor(kProbeInterval - spent);
   }
   cluster.chaos().StopMarkov();
 
@@ -182,9 +192,10 @@ TrialCounts RunTrial(int m, int n, int probes, uint64_t seed) {
 /// Splits `probes` across kTrialsPerConfig independent trials, fans them
 /// over `runner`, and merges the counts in trial order.
 ConfigResult RunConfig(int m, int n, int probes, uint64_t seed,
-                       const harness::TrialRunner& runner) {
+                       const harness::TrialRunner& runner,
+                       int shard_workers) {
   std::vector<TrialCounts> counts = runner.Run(
-      kTrialsPerConfig, [m, n, probes, seed](size_t trial) {
+      kTrialsPerConfig, [m, n, probes, seed, shard_workers](size_t trial) {
         // Even probe split, remainder to the earliest trials; each trial
         // gets a disjoint deterministic seed.
         int trial_probes = probes / kTrialsPerConfig;
@@ -193,7 +204,8 @@ ConfigResult RunConfig(int m, int n, int probes, uint64_t seed,
         }
         if (trial_probes == 0) return TrialCounts{};
         return RunTrial(m, n, trial_probes,
-                        seed + 1000 * (static_cast<uint64_t>(trial) + 1));
+                        seed + 1000 * (static_cast<uint64_t>(trial) + 1),
+                        shard_workers);
       });
 
   TrialCounts total;
@@ -226,6 +238,7 @@ double Tolerance(double closed_form, int probes) {
 int main(int argc, char** argv) {
   const int probes = argc > 1 ? std::atoi(argv[1]) : 4000;
   const int threads = argc > 2 ? std::atoi(argv[2]) : 1;
+  const int shard_workers = argc > 3 ? std::atoi(argv[3]) : 0;
   const double p = 0.05;
   harness::TrialRunner runner(threads > 0 ? threads : 1);
 
@@ -249,7 +262,7 @@ int main(int argc, char** argv) {
     const double write_closed = analysis::WriteLogAvailability(m, n, p);
     const double init_closed = analysis::ClientInitAvailability(m, n, p);
     const ConfigResult r =
-        RunConfig(m, n, probes, /*seed=*/1000 + m, runner);
+        RunConfig(m, n, probes, /*seed=*/1000 + m, runner, shard_workers);
 
     const double write_tol = Tolerance(write_closed, probes);
     const double init_tol = Tolerance(init_closed, probes);

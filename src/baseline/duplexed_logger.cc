@@ -5,7 +5,7 @@
 
 namespace dlog::baseline {
 
-DuplexedDiskLogger::DuplexedDiskLogger(sim::Simulator* sim,
+DuplexedDiskLogger::DuplexedDiskLogger(sim::Scheduler* sim,
                                        const DuplexedLogConfig& config)
     : sim_(sim), config_(config) {
   assert(config.num_disks >= 1);

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "common/log_types.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 #include "storage/disk.h"
 #include "tp/logger.h"
@@ -33,7 +33,7 @@ struct DuplexedLogConfig {
 /// unmodified on either logging design (experiment E5).
 class DuplexedDiskLogger : public tp::TxnLogger {
  public:
-  DuplexedDiskLogger(sim::Simulator* sim, const DuplexedLogConfig& config);
+  DuplexedDiskLogger(sim::Scheduler* sim, const DuplexedLogConfig& config);
 
   Result<Lsn> Append(Bytes payload) override;
   void Force(Lsn upto, std::function<void(Status)> done) override;
@@ -60,7 +60,7 @@ class DuplexedDiskLogger : public tp::TxnLogger {
   void MaybeFlush();
   void CompleteWaiters();
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   DuplexedLogConfig config_;
   std::vector<std::unique_ptr<storage::SimDisk>> disks_;
 

@@ -10,7 +10,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 
 namespace dlog::chaos {
@@ -44,10 +44,21 @@ struct MarkovFaultConfig {
 /// function of (config, seed) regardless of event interleaving.
 class ChaosController {
  public:
-  ChaosController(sim::Simulator* sim, FaultTargets* targets);
+  ChaosController(sim::Scheduler* sim, FaultTargets* targets);
 
   ChaosController(const ChaosController&) = delete;
   ChaosController& operator=(const ChaosController&) = delete;
+
+  /// Parallel-engine routing: returns the scheduler (shard) a fault
+  /// event must execute on — the target server's or client's shard, so
+  /// the fault mutates node state from that node's own thread, or the
+  /// control shard for network-wide faults (whose mutations the Network
+  /// defers to the barrier anyway). Unset, every fault runs on the
+  /// controller's own scheduler (the serial engine).
+  using SchedulerRouter = std::function<sim::Scheduler*(const FaultEvent&)>;
+  void SetSchedulerRouter(SchedulerRouter router) {
+    router_ = std::move(router);
+  }
 
   /// Attaches the shared causal tracer (may be null: spans dropped).
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
@@ -88,9 +99,13 @@ class ChaosController {
   void EmitSpan(const FaultEvent& event);
   /// Schedules the next up->down or down->up transition of `server`.
   void ScheduleTransition(int server, bool crash_next);
+  sim::Scheduler* SchedulerFor(const FaultEvent& event) {
+    return router_ ? router_(event) : sim_;
+  }
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   FaultTargets* targets_;
+  SchedulerRouter router_;
   obs::Tracer* tracer_ = nullptr;
 
   MarkovFaultConfig markov_;

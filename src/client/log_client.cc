@@ -75,7 +75,7 @@ Status LogClientConfig::Validate() const {
   return Status::OK();
 }
 
-LogClient::LogClient(sim::Simulator* sim, const LogClientConfig& config)
+LogClient::LogClient(sim::Scheduler* sim, const LogClientConfig& config)
     : sim_(sim),
       config_(config),
       rng_(config.seed),

@@ -20,7 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/cpu.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 #include "wire/connection.h"
 #include "wire/messages.h"
@@ -98,7 +98,7 @@ struct LogClientConfig {
 /// the supplied callback when the simulated protocol completes.
 class LogClient {
  public:
-  LogClient(sim::Simulator* sim, const LogClientConfig& config);
+  LogClient(sim::Scheduler* sim, const LogClientConfig& config);
   ~LogClient();
 
   LogClient(const LogClient&) = delete;
@@ -284,7 +284,7 @@ class LogClient {
 
   wire::RpcClient::CallOptions RpcOpts() const;
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   LogClientConfig config_;
   std::unique_ptr<sim::Cpu> cpu_;
   std::unique_ptr<wire::Endpoint> endpoint_;

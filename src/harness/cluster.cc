@@ -7,12 +7,40 @@
 
 namespace dlog::harness {
 
+namespace {
+
+sim::ParallelConfig MakeParallelConfig(const ClusterConfig& config) {
+  sim::ParallelConfig pc;
+  pc.num_workers = config.shard_workers;
+  // The LAN's propagation delay is the minimum cross-node latency:
+  // nothing a node does at time T reaches another node before T + delay,
+  // which is exactly the conservative-lookahead contract.
+  pc.lookahead = config.network.propagation_delay;
+  return pc;
+}
+
+}  // namespace
+
 Status ClusterConfig::Validate() const {
   if (num_servers < 1) {
     return Status::InvalidArgument("num_servers must be >= 1");
   }
   if (num_networks < 1) {
     return Status::InvalidArgument("num_networks must be >= 1");
+  }
+  if (shard_workers < 0) {
+    return Status::InvalidArgument("shard_workers must be >= 0");
+  }
+  if (shard_workers > 0) {
+    if (tracing || profiling) {
+      return Status::InvalidArgument(
+          "the parallel engine does not support tracing/profiling "
+          "(span ids and probe streams are interleaving-dependent)");
+    }
+    if (network.propagation_delay == 0) {
+      return Status::InvalidArgument(
+          "the parallel engine needs propagation_delay > 0 as lookahead");
+    }
   }
   DLOG_RETURN_IF_ERROR(network.Validate());
   // The per-server template is validated with its node_id already
@@ -21,14 +49,44 @@ Status ClusterConfig::Validate() const {
   return Status::OK();
 }
 
+sim::Scheduler* Cluster::InfraScheduler() {
+  if (serial_ != nullptr) return serial_.get();
+  // Shared actors are called from whatever shard is executing; the
+  // ambient facade binds their clock to the calling shard.
+  return parallel_->ambient();
+}
+
 Cluster::Cluster(const ClusterConfig& config)
-    : config_(config), tracer_(&sim_) {
+    : config_(config),
+      serial_(config.shard_workers == 0 ? std::make_unique<sim::Simulator>()
+                                        : nullptr),
+      parallel_(config.shard_workers > 0
+                    ? std::make_unique<sim::ParallelSimulator>(
+                          MakeParallelConfig(config))
+                    : nullptr),
+      tracer_(InfraScheduler()) {
   DLOG_CHECK_OK(config.Validate());
   tracer_.set_enabled(config.tracing);
+  if (serial_ != nullptr) {
+    tick_seq_ = std::make_unique<sim::TickSequencer>(serial_.get());
+  }
   for (int i = 0; i < config.num_networks; ++i) {
     net::NetworkConfig net_cfg = config.network;
     net_cfg.seed = config.seed * 1000 + i;
-    networks_.push_back(std::make_unique<net::Network>(&sim_, net_cfg));
+    networks_.push_back(
+        std::make_unique<net::Network>(InfraScheduler(), net_cfg));
+    if (parallel_ != nullptr) {
+      networks_.back()->SetSequencing(
+          {parallel_.get(), [this](net::NodeId id) {
+             return node_schedulers_.at(id);
+           }});
+    } else {
+      // The serial engine sequences network mutations too: same-tick
+      // sends then arbitrate in (src node, post order) — the identical
+      // order the parallel barrier replays — instead of in heap-insertion
+      // order, which no sharded execution could reproduce.
+      networks_.back()->SetSequencing({tick_seq_.get(), nullptr});
+    }
     if (config.profiling) {
       net::Network* network = networks_.back().get();
       const std::string name = "net-" + std::to_string(i);
@@ -45,7 +103,11 @@ Cluster::Cluster(const ClusterConfig& config)
   for (int i = 0; i < config.num_servers; ++i) {
     server::LogServerConfig server_cfg = config.server;
     server_cfg.node_id = static_cast<net::NodeId>(i + 1);
-    auto server = std::make_unique<server::LogServer>(&sim_, server_cfg);
+    sim::Scheduler* sched = serial_ != nullptr
+                                ? static_cast<sim::Scheduler*>(serial_.get())
+                                : parallel_->shard(parallel_->AddShard());
+    node_schedulers_[server_cfg.node_id] = sched;
+    auto server = std::make_unique<server::LogServer>(sched, server_cfg);
     for (auto& network : networks_) server->AttachNetwork(network.get());
     server->SetTracer(&tracer_);
     server->RegisterMetrics(&metrics_);
@@ -65,13 +127,33 @@ Cluster::Cluster(const ClusterConfig& config)
                                   t.end});
           });
       server->nvram_buffer().SetOccupancyProbe([this, name](size_t used) {
-        profiler_.RecordLevel(name + "/nvram", sim_.Now(),
+        profiler_.RecordLevel(name + "/nvram", serial_->Now(),
                               static_cast<double>(used));
       });
     }
     servers_.push_back(std::move(server));
   }
-  chaos_ = std::make_unique<chaos::ChaosController>(&sim_, this);
+  chaos_ = std::make_unique<chaos::ChaosController>(InfraScheduler(), this);
+  if (parallel_ != nullptr) {
+    chaos_->SetSchedulerRouter([this](const chaos::FaultEvent& event) {
+      switch (event.type) {
+        case chaos::FaultType::kServerCrash:
+        case chaos::FaultType::kServerRestart:
+        case chaos::FaultType::kDiskFail:
+        case chaos::FaultType::kNvramLoss:
+          return &server_scheduler(event.target);
+        case chaos::FaultType::kClientCrash:
+        case chaos::FaultType::kClientRestart:
+          return &client_scheduler(event.target);
+        case chaos::FaultType::kPartition:
+        case chaos::FaultType::kHealPartition:
+        case chaos::FaultType::kLinkDegrade:
+        case chaos::FaultType::kLinkRestore:
+          break;  // network faults defer through the barrier anyway
+      }
+      return &scheduler();
+    });
+  }
   chaos_->SetTracer(&tracer_);
   chaos_->RegisterMetrics(&metrics_);
   // The process-wide copy counter, visible in every snapshot/diff instead
@@ -93,8 +175,8 @@ std::vector<net::NodeId> Cluster::server_ids() const {
 }
 
 std::unique_ptr<client::LogClient> Cluster::BuildClient(
-    const client::LogClientConfig& config) {
-  auto node = std::make_unique<client::LogClient>(&sim_, config);
+    const client::LogClientConfig& config, sim::Scheduler* sched) {
+  auto node = std::make_unique<client::LogClient>(sched, config);
   for (auto& network : networks_) node->AttachNetwork(network.get());
   node->SetTracer(&tracer_);
   node->RegisterMetrics(&metrics_);
@@ -120,7 +202,14 @@ ClientHandle Cluster::AddClient(client::LogClientConfig config) {
   DLOG_CHECK_OK(config.Validate());
   ClientSlot slot;
   slot.config = config;
-  slot.node = BuildClient(config);
+  if (parallel_ != nullptr) {
+    slot.shard = parallel_->AddShard();
+    node_schedulers_[config.node_id] = parallel_->shard(slot.shard);
+  }
+  sim::Scheduler* sched = serial_ != nullptr
+                              ? static_cast<sim::Scheduler*>(serial_.get())
+                              : parallel_->shard(slot.shard);
+  slot.node = BuildClient(config, sched);
   clients_.push_back(std::move(slot));
   return ClientHandle(this, static_cast<int>(clients_.size()) - 1);
 }
@@ -146,18 +235,39 @@ void Cluster::RestartClient(int index) {
   metrics_.UnregisterPrefix(
       "client-" + std::to_string(slot.config.client_id) + "/log/");
   slot.node.reset();
-  slot.node = BuildClient(slot.config);
+  slot.node = BuildClient(slot.config, &client_scheduler(index));
+}
+
+sim::Time Cluster::NextEventTime() {
+  return serial_ ? serial_->PeekNextTime() : parallel_->NextEventTime();
+}
+
+void Cluster::EngineRunUntil(sim::Time t) {
+  serial_ ? serial_->RunUntil(t) : parallel_->RunUntil(t);
 }
 
 bool Cluster::RunUntil(std::function<bool()> fn, sim::Duration timeout) {
-  const sim::Time deadline = sim_.Now() + timeout;
-  while (!fn()) {
-    if (sim_.Now() >= deadline) return false;
-    if (!sim_.Step()) {
-      // Queue drained: advance in small hops so timers parked beyond the
-      // horizon don't stall the predicate.
-      return fn();
+  const sim::Time deadline = Now() + timeout;
+  if (config_.run_until_quantum <= 0) {
+    assert(serial_ != nullptr &&
+           "parallel RunUntil(predicate) needs run_until_quantum > 0");
+    while (!fn()) {
+      if (serial_->Now() >= deadline) return false;
+      if (!serial_->Step()) {
+        // Queue drained: the predicate can no longer change.
+        return fn();
+      }
     }
+    return true;
+  }
+  // Quantized: the predicate is checked at times that are a pure
+  // function of the simulated schedule (grid points and event times),
+  // never of engine internals — so both engines stop identically.
+  while (!fn()) {
+    if (Now() >= deadline) return false;
+    const sim::Time next = NextEventTime();
+    if (next == sim::Simulator::kNoEvent) return fn();
+    EngineRunUntil(std::max(Now() + config_.run_until_quantum, next));
   }
   return true;
 }

@@ -1,6 +1,9 @@
 #ifndef DLOG_HARNESS_CLUSTER_H_
 #define DLOG_HARNESS_CLUSTER_H_
 
+#include <cassert>
+#include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -13,6 +16,8 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "server/log_server.h"
+#include "sim/parallel.h"
+#include "sim/scheduler.h"
 #include "sim/simulator.h"
 
 namespace dlog::harness {
@@ -68,9 +73,26 @@ struct ClusterConfig {
   /// tracing.
   bool profiling = false;
   uint64_t seed = 1;
+  /// Simulation engine. 0 (default) runs the serial sim::Simulator —
+  /// byte-compatible with every existing experiment. >= 1 runs the
+  /// sharded sim::ParallelSimulator with this many worker threads, one
+  /// shard per node, and NetworkConfig::propagation_delay as the
+  /// conservative lookahead. A run's output is identical for every
+  /// worker count; matching the serial engine additionally requires
+  /// predicate waits to be quantized (run_until_quantum) in both modes.
+  /// Parallel clusters reject tracing/profiling: span ids and profiler
+  /// streams are interleaving-dependent.
+  int shard_workers = 0;
+  /// RunUntil(predicate) polling grid. 0 (default) checks the predicate
+  /// after every event — exact, serial engine only. > 0 checks it every
+  /// this much simulated time; the stopping times then depend only on
+  /// the simulated schedule, so serial and parallel runs stop
+  /// identically. Engine-comparing benches set it in both modes.
+  sim::Duration run_until_quantum = 0;
 
   /// OK iff the deployment is constructible (at least one server and
-  /// network, valid server/network templates).
+  /// network, valid server/network templates, consistent engine
+  /// options).
   Status Validate() const;
 };
 
@@ -89,7 +111,46 @@ class Cluster : public chaos::FaultTargets {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Simulator& sim() { return sim_; }
+  /// The serial engine. Only valid when shard_workers == 0 (the
+  /// default); engine-agnostic callers use Now()/RunFor()/Run()/
+  /// RunUntil() and the per-node scheduler accessors instead.
+  sim::Simulator& sim() {
+    assert(serial_ != nullptr && "cluster is running the parallel engine");
+    return *serial_;
+  }
+  bool parallel() const { return parallel_ != nullptr; }
+  sim::ParallelSimulator& parallel_sim() { return *parallel_; }
+
+  /// Engine-agnostic clock and run controls.
+  sim::Time Now() const {
+    return serial_ ? serial_->Now() : parallel_->Now();
+  }
+  void RunFor(sim::Duration d) {
+    serial_ ? serial_->RunFor(d) : parallel_->RunFor(d);
+  }
+  void Run() { serial_ ? serial_->Run() : parallel_->Run(); }
+
+  /// Per-node schedulers: the serial engine for every node, or the
+  /// node's shard handle under the parallel engine. Components built
+  /// outside the cluster (drivers, probes) must schedule on the
+  /// scheduler of the node they belong to.
+  sim::Scheduler& server_scheduler(int id) {
+    return serial_ ? static_cast<sim::Scheduler&>(*serial_)
+                   : *parallel_->shard(id - 1);
+  }
+  sim::Scheduler& client_scheduler(int index) {
+    return serial_ ? static_cast<sim::Scheduler&>(*serial_)
+                   : *parallel_->shard(clients_[index].shard);
+  }
+  sim::Scheduler& scheduler(const ClientHandle& handle) {
+    return client_scheduler(handle.index());
+  }
+  /// The control-plane scheduler (cluster-wide timers, shard 0).
+  sim::Scheduler& scheduler() {
+    return serial_ ? static_cast<sim::Scheduler&>(*serial_)
+                   : *parallel_->shard(0);
+  }
+
   net::Network& network(int i = 0) override { return *networks_[i]; }
   int num_networks() const override {
     return static_cast<int>(networks_.size());
@@ -162,8 +223,10 @@ class Cluster : public chaos::FaultTargets {
     return clients_[index].node != nullptr && clients_[index].node->IsUp();
   }
 
-  /// Runs the simulator until `fn` returns true or `timeout` elapses;
-  /// returns whether the predicate held.
+  /// Runs the engine until `fn` returns true or `timeout` elapses;
+  /// returns whether the predicate held. With run_until_quantum == 0
+  /// (serial only) the predicate is checked after every event; with a
+  /// quantum it is checked on the engine-independent time grid.
   bool RunUntil(std::function<bool()> fn,
                 sim::Duration timeout = 30 * sim::kSecond);
 
@@ -173,14 +236,32 @@ class Cluster : public chaos::FaultTargets {
     /// so RestartClient reconstructs an identical node.
     client::LogClientConfig config;
     std::unique_ptr<client::LogClient> node;
+    /// The node's shard under the parallel engine (fixed for the
+    /// client's whole identity, across crash/restart cycles).
+    int shard = 0;
   };
 
-  /// Builds, wires, and registers a LogClient from a resolved config.
+  /// Builds, wires, and registers a LogClient from a resolved config on
+  /// the given scheduler (the client's shard).
   std::unique_ptr<client::LogClient> BuildClient(
-      const client::LogClientConfig& config);
+      const client::LogClientConfig& config, sim::Scheduler* sched);
+  /// Earliest pending event across the engine (quiescent).
+  sim::Time NextEventTime();
+  void EngineRunUntil(sim::Time t);
+  /// The scheduler shared infrastructure (networks, tracer) is built
+  /// on: the serial engine, or the parallel engine's ambient facade.
+  sim::Scheduler* InfraScheduler();
 
-  sim::Simulator sim_;
   ClusterConfig config_;
+  /// Exactly one engine exists, chosen by ClusterConfig::shard_workers.
+  /// Declared before everything that schedules on it.
+  std::unique_ptr<sim::Simulator> serial_;
+  std::unique_ptr<sim::ParallelSimulator> parallel_;
+  /// Serial-engine sequencer for shared-actor mutations (the networks):
+  /// drains same-tick posts in (key, seq) order, the exact per-tick slice
+  /// of the parallel engine's window-barrier merge, so tie arbitration —
+  /// and therefore the whole run — is engine-independent.
+  std::unique_ptr<sim::TickSequencer> tick_seq_;
   /// Declared before the nodes that hold pointers into them.
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
@@ -189,6 +270,9 @@ class Cluster : public chaos::FaultTargets {
   std::vector<std::unique_ptr<server::LogServer>> servers_;
   std::vector<ClientSlot> clients_;
   std::unique_ptr<chaos::ChaosController> chaos_;
+  /// NodeId -> shard scheduler, for the networks' delivery routing
+  /// (parallel engine only). Mutated only while quiescent.
+  std::map<net::NodeId, sim::Scheduler*> node_schedulers_;
   net::NodeId next_client_node_ = 1000;
 };
 

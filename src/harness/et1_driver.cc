@@ -8,10 +8,11 @@ Et1Driver::Et1Driver(Cluster* cluster, client::LogClientConfig log_config,
                      const Et1DriverConfig& config)
     : cluster_(cluster), config_(config), rng_(config.seed) {
   log_ = cluster->AddClient(log_config);
+  sched_ = &cluster->scheduler(log_);
   logger_ = std::make_unique<tp::ReplicatedTxnLogger>(log_.get());
   page_disk_ = std::make_unique<tp::PageDisk>(config.engine.page_bytes);
   engine_ = std::make_unique<tp::TransactionEngine>(
-      &cluster->sim(), logger_.get(), page_disk_.get(), config.engine);
+      sched_, logger_.get(), page_disk_.get(), config.engine);
   bank_ = std::make_unique<tp::BankDb>(engine_.get(), config.bank);
   // Same node name as the LogClient so the engine's "txn" roots and the
   // client's "wal.group"/"ForceLog" spans share a timeline row.
@@ -36,8 +37,8 @@ void Et1Driver::Start() {
     if (!st.ok()) {
       // Keep polling: "the client process can poll until it receives
       // responses from enough servers."
-      cluster_->sim().After(500 * sim::kMillisecond,
-                            [this]() { if (!stopped_) Start(); });
+      sched_->After(500 * sim::kMillisecond,
+                    [this]() { if (!stopped_) Start(); });
       return;
     }
     started_ = true;
@@ -52,7 +53,7 @@ void Et1Driver::ScheduleNext() {
   const double mean_gap_s = 1.0 / config_.tps;
   const double gap_s =
       config_.poisson ? rng_.NextExponential(mean_gap_s) : mean_gap_s;
-  cluster_->sim().After(sim::SecondsToDuration(gap_s), [this]() {
+  sched_->After(sim::SecondsToDuration(gap_s), [this]() {
     if (stopped_) return;
     RunOne();
     ScheduleNext();
@@ -71,12 +72,12 @@ void Et1Driver::RunOne() {
   const int branch =
       static_cast<int>(rng_.NextBelow(config_.bank.branches));
   const int64_t delta = static_cast<int64_t>(rng_.NextBelow(200)) - 100;
-  const sim::Time start = cluster_->sim().Now();
+  const sim::Time start = sched_->Now();
   bank_->RunEt1(account, teller, branch, delta, [this, start](Status st) {
     if (st.ok()) {
       ++committed_;
       txn_latency_ms_.Add(
-          sim::DurationToSeconds(cluster_->sim().Now() - start) * 1e3);
+          sim::DurationToSeconds(sched_->Now() - start) * 1e3);
     } else {
       ++failed_;
     }

@@ -65,6 +65,10 @@ class Et1Driver {
   void RunOne();
 
   Cluster* cluster_;
+  /// The scheduler of the node this driver simulates (its client's
+  /// shard under the parallel engine): arrivals and latency stamps are
+  /// node-local events.
+  sim::Scheduler* sched_;
   Et1DriverConfig config_;
   /// "client-<id>": names this node in traces and metric paths.
   std::string trace_node_;

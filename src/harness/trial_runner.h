@@ -21,9 +21,10 @@ namespace dlog::harness {
 /// changes wall-clock time and nothing else.
 ///
 /// The per-thread event-callback slab pool (sim/callback.cc) is
-/// thread_local, which is safe precisely because a trial's simulator
-/// never migrates between threads: a trial runs start-to-finish on the
-/// worker that claimed it.
+/// thread_local; a trial runs start-to-finish on the worker that claimed
+/// it, so its allocations stay on one list. (Trials may themselves run
+/// the parallel engine — shard workers are nested inside the trial and
+/// the pool handles their cross-thread frees; see callback.cc.)
 class TrialRunner {
  public:
   /// `threads` <= 1 means run trials inline on the calling thread.

@@ -22,30 +22,58 @@ Status NetworkConfig::Validate() const {
   return Status::OK();
 }
 
-Network::Network(sim::Simulator* sim, const NetworkConfig& config)
+Network::Network(sim::Scheduler* sim, const NetworkConfig& config)
     : sim_(sim), config_(config), rng_(config.seed) {
   DLOG_CHECK_OK(config.Validate());
 }
 
-void Network::Attach(NodeId id, Nic* nic) {
-  assert(!IsMulticast(id));
-  assert(nodes_.find(id) == nodes_.end());
-  nodes_[id] = nic;
+void Network::Sequenced(sim::Callback fn) {
+  if (hooks_.sequencer != nullptr) {
+    hooks_.sequencer->Post(sim_->Now(), /*key=*/0, std::move(fn));
+    return;
+  }
+  fn();
 }
 
-void Network::Detach(NodeId id) { nodes_.erase(id); }
+void Network::Attach(NodeId id, Nic* nic) {
+  assert(!IsMulticast(id));
+  Sequenced([this, id, nic] {
+    assert(nodes_.find(id) == nodes_.end());
+    nodes_[id] = nic;
+  });
+}
+
+void Network::Detach(NodeId id) {
+  Sequenced([this, id] { nodes_.erase(id); });
+}
 
 void Network::JoinGroup(NodeId group, NodeId member) {
   assert(IsMulticast(group));
-  groups_[group].insert(member);
+  Sequenced([this, group, member] { groups_[group].insert(member); });
 }
 
 void Network::LeaveGroup(NodeId group, NodeId member) {
-  auto it = groups_.find(group);
-  if (it != groups_.end()) it->second.erase(member);
+  Sequenced([this, group, member] {
+    auto it = groups_.find(group);
+    if (it != groups_.end()) it->second.erase(member);
+  });
 }
 
 void Network::Send(const Packet& packet) {
+  if (hooks_.sequencer != nullptr) {
+    // Keyed by the source node: equal-time sends replay in ascending
+    // node order under either engine's sequencer, so shared-medium tie
+    // arbitration is a pure function of simulated state.
+    const sim::Time enqueue = sim_->Now();
+    hooks_.sequencer->Post(
+        enqueue, static_cast<uint64_t>(packet.src),
+        [this, packet, enqueue] { SendNow(packet, enqueue); });
+    return;
+  }
+  SendNow(packet, sim_->Now());
+}
+
+void Network::SendNow(const Packet& packet, sim::Time enqueue) {
   if (packet.payload.size() > config_.mtu_bytes) {
     packets_oversized_.Increment();
     return;
@@ -59,7 +87,6 @@ void Network::Send(const Packet& packet) {
   // Serialize transmissions on the shared medium.
   const sim::Duration tx_time = sim::SecondsToDuration(
       static_cast<double>(bits) / config_.bandwidth_bits_per_sec);
-  const sim::Time enqueue = sim_->Now();
   const sim::Time tx_start = std::max(enqueue, medium_free_at_);
   medium_free_at_ = tx_start + tx_time;
   const sim::Time arrival = medium_free_at_ + config_.propagation_delay;
@@ -87,18 +114,24 @@ void Network::Send(const Packet& packet) {
 }
 
 void Network::SetPartition(const std::vector<std::vector<NodeId>>& groups) {
-  partition_group_.clear();
-  for (size_t g = 0; g < groups.size(); ++g) {
-    for (NodeId node : groups[g]) {
-      partition_group_[node] = static_cast<int>(g);
+  partition_logical_ = true;
+  Sequenced([this, groups] {
+    partition_group_.clear();
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (NodeId node : groups[g]) {
+        partition_group_[node] = static_cast<int>(g);
+      }
     }
-  }
-  partition_active_ = true;
+    partition_active_ = true;
+  });
 }
 
 void Network::HealPartition() {
-  partition_active_ = false;
-  partition_group_.clear();
+  partition_logical_ = false;
+  Sequenced([this] {
+    partition_active_ = false;
+    partition_group_.clear();
+  });
 }
 
 bool Network::Partitioned(NodeId a, NodeId b) const {
@@ -111,14 +144,16 @@ bool Network::Partitioned(NodeId a, NodeId b) const {
 }
 
 void Network::SetLinkFault(NodeId src, NodeId dst, const LinkFault& fault) {
-  link_faults_[{src, dst}] = fault;
+  Sequenced([this, src, dst, fault] { link_faults_[{src, dst}] = fault; });
 }
 
 void Network::ClearLinkFault(NodeId src, NodeId dst) {
-  link_faults_.erase({src, dst});
+  Sequenced([this, src, dst] { link_faults_.erase({src, dst}); });
 }
 
-void Network::ClearLinkFaults() { link_faults_.clear(); }
+void Network::ClearLinkFaults() {
+  Sequenced([this] { link_faults_.clear(); });
+}
 
 void Network::DeliverTo(NodeId dst, const Packet& packet,
                         sim::Time arrival, PacketTiming timing) {
@@ -160,12 +195,14 @@ void Network::DeliverTo(NodeId dst, const Packet& packet,
   timing.delivered = copies > 0;
   if (packet_probe_) packet_probe_(timing);
   Nic* nic = it->second;
+  sim::Scheduler* target =
+      hooks_.scheduler_of ? hooks_.scheduler_of(dst) : sim_;
   for (int i = 0; i < copies; ++i) {
     // Packet carries a refcounted payload: this capture shares the
     // sender's buffer with every receiver instead of duplicating it.
     packets_delivered_.Increment();
-    sim_->At(arrival + static_cast<sim::Duration>(i) * sim::kMicrosecond,
-             [nic, packet]() { nic->Deliver(packet); });
+    target->At(arrival + static_cast<sim::Duration>(i) * sim::kMicrosecond,
+               [nic, packet]() { nic->Deliver(packet); });
   }
 }
 
@@ -178,7 +215,7 @@ double Network::Utilization() const {
   return static_cast<double>(bits_sent_) / capacity_bits;
 }
 
-Nic::Nic(sim::Simulator* sim, size_t ring_slots)
+Nic::Nic(sim::Scheduler* sim, size_t ring_slots)
     : sim_(sim), ring_slots_(ring_slots) {
   assert(ring_slots > 0);
 }

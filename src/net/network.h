@@ -13,7 +13,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/packet.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -55,10 +55,34 @@ struct LinkFault {
 /// two Networks and attach each node's two Nics.
 class Network {
  public:
-  Network(sim::Simulator* sim, const NetworkConfig& config);
+  Network(sim::Scheduler* sim, const NetworkConfig& config);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  /// Sequencing seam. The Network is the one actor every node touches
+  /// (shared-medium arbitration, one loss/duplication Rng, the topology
+  /// maps), so its mutations decide tie order whenever two nodes act in
+  /// the same simulated tick. With hooks set, Send() and the topology
+  /// mutators capture their arguments plus the caller's clock and Post
+  /// them to `sequencer`, which replays them single-threaded in
+  /// deterministic (time, src node) order — through the unchanged
+  /// arbitration code below. The cluster installs a sequencer under BOTH
+  /// engines so ties break identically: the parallel engine drains posts
+  /// at its window barrier (sim::ParallelSimulator), the serial engine at
+  /// the end of the posting tick (sim::TickSequencer) — the same merged
+  /// order, since a tick never spans a window boundary.
+  /// Deliveries are then scheduled onto `scheduler_of(dst)` — the
+  /// destination node's shard under the parallel engine (propagation
+  /// delay >= the engine lookahead guarantees they land after the
+  /// barrier), or the one serial queue when unset. With no hooks at all
+  /// (standalone Network unit tests), everything executes inline in call
+  /// order, exactly as before the sequencing seam existed.
+  struct SequencingHooks {
+    sim::SequencedExecutor* sequencer = nullptr;
+    std::function<sim::Scheduler*(NodeId)> scheduler_of;
+  };
+  void SetSequencing(SequencingHooks hooks) { hooks_ = std::move(hooks); }
 
   /// Attaches a NIC under the given address. The address must be unused
   /// and must not be a multicast id.
@@ -84,7 +108,11 @@ class Network {
   void SetPartition(const std::vector<std::vector<NodeId>>& groups);
   /// Removes the partition: full connectivity again.
   void HealPartition();
-  bool HasPartition() const { return partition_active_; }
+  /// Logical partition state as of the last SetPartition/HealPartition
+  /// *call* (under the parallel engine the filtering itself applies at
+  /// the next barrier; callers sequencing set/heal decisions — the chaos
+  /// controller — need call-time semantics).
+  bool HasPartition() const { return partition_logical_; }
   /// True when a partition is active and separates `a` from `b`.
   bool Partitioned(NodeId a, NodeId b) const;
 
@@ -140,16 +168,25 @@ class Network {
   }
 
  private:
+  /// The original Send body: shared-medium arbitration at `enqueue` plus
+  /// fan-out. Serial: called inline. Parallel: replayed at the barrier.
+  void SendNow(const Packet& packet, sim::Time enqueue);
   void DeliverTo(NodeId dst, const Packet& packet, sim::Time arrival,
                  PacketTiming timing);
+  /// Runs a shared-state mutation now (serial) or Posts it with control
+  /// key 0 (parallel).
+  void Sequenced(sim::Callback fn);
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   NetworkConfig config_;
+  SequencingHooks hooks_;
   Rng rng_;
   std::map<NodeId, Nic*> nodes_;
   std::map<NodeId, std::set<NodeId>> groups_;
   /// Partition state: group index per named node; unnamed nodes share
-  /// the implicit group -1.
+  /// the implicit group -1. `partition_logical_` tracks the call-time
+  /// view (see HasPartition); `partition_active_` the applied one.
+  bool partition_logical_ = false;
   bool partition_active_ = false;
   std::map<NodeId, int> partition_group_;
   /// Directed-link degradations, keyed src->dst.
@@ -177,7 +214,7 @@ class Nic {
   using Handler = std::function<void(const Packet&)>;
 
   /// `ring_slots` is the number of packets the interface can buffer.
-  Nic(sim::Simulator* sim, size_t ring_slots);
+  Nic(sim::Scheduler* sim, size_t ring_slots);
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
@@ -203,7 +240,7 @@ class Nic {
   sim::Counter& packets_received() { return packets_received_; }
 
  private:
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   size_t ring_slots_;
   size_t ring_in_use_ = 0;
   bool up_ = true;

@@ -50,6 +50,7 @@ void EraseName(Map* map, const std::string& name) {
 
 void MetricsRegistry::RegisterCounter(const std::string& name,
                                       const sim::Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
   EraseName(&gauges_, name);
   EraseName(&tw_gauges_, name);
   EraseName(&histograms_, name);
@@ -59,6 +60,7 @@ void MetricsRegistry::RegisterCounter(const std::string& name,
 
 void MetricsRegistry::RegisterGauge(const std::string& name,
                                     const sim::Gauge* g) {
+  std::lock_guard<std::mutex> lock(mu_);
   EraseName(&counters_, name);
   EraseName(&tw_gauges_, name);
   EraseName(&histograms_, name);
@@ -68,6 +70,7 @@ void MetricsRegistry::RegisterGauge(const std::string& name,
 
 void MetricsRegistry::RegisterTimeWeightedGauge(
     const std::string& name, const sim::TimeWeightedGauge* g) {
+  std::lock_guard<std::mutex> lock(mu_);
   EraseName(&counters_, name);
   EraseName(&gauges_, name);
   EraseName(&histograms_, name);
@@ -77,6 +80,7 @@ void MetricsRegistry::RegisterTimeWeightedGauge(
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
                                         const sim::Histogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
   EraseName(&counters_, name);
   EraseName(&gauges_, name);
   EraseName(&tw_gauges_, name);
@@ -86,6 +90,7 @@ void MetricsRegistry::RegisterHistogram(const std::string& name,
 
 void MetricsRegistry::RegisterCallback(const std::string& name,
                                        std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
   EraseName(&counters_, name);
   EraseName(&gauges_, name);
   EraseName(&tw_gauges_, name);
@@ -94,6 +99,7 @@ void MetricsRegistry::RegisterCallback(const std::string& name,
 }
 
 void MetricsRegistry::UnregisterPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
   ErasePrefix(&counters_, prefix);
   ErasePrefix(&gauges_, prefix);
   ErasePrefix(&tw_gauges_, prefix);
@@ -104,6 +110,7 @@ void MetricsRegistry::UnregisterPrefix(const std::string& prefix) {
 MetricsSnapshot MetricsRegistry::Snapshot(sim::Time now) const {
   MetricsSnapshot snap;
   snap.at = now;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) {
     snap.values[name] = static_cast<double>(c->value());
   }
@@ -132,7 +139,7 @@ MetricsSnapshot MetricsRegistry::Snapshot(sim::Time now) const {
 
 std::vector<std::string> MetricsRegistry::Names() const {
   std::vector<std::string> names;
-  names.reserve(size());
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) names.push_back(name);
   for (const auto& [name, g] : gauges_) names.push_back(name);
   for (const auto& [name, g] : tw_gauges_) names.push_back(name);

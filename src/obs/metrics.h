@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -73,11 +74,16 @@ class MetricsRegistry {
   std::vector<std::string> Names() const;
 
   size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + tw_gauges_.size() +
            histograms_.size() + callbacks_.size();
   }
 
  private:
+  /// (Un)registration can race under the parallel engine: two clients
+  /// restarting in the same window re-register from different shard
+  /// threads. Map order keeps enumeration deterministic regardless.
+  mutable std::mutex mu_;
   std::map<std::string, const sim::Counter*> counters_;
   std::map<std::string, const sim::Gauge*> gauges_;
   std::map<std::string, const sim::TimeWeightedGauge*> tw_gauges_;

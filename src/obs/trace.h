@@ -6,7 +6,7 @@
 #include <utility>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/time.h"
 
 namespace dlog::obs {
@@ -54,7 +54,7 @@ struct Span {
 /// explicit stack of "current" contexts, scoped via Tracer::Scope.
 class Tracer {
  public:
-  explicit Tracer(sim::Simulator* sim) : sim_(sim) {}
+  explicit Tracer(sim::Scheduler* sim) : sim_(sim) {}
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -86,9 +86,17 @@ class Tracer {
   void EndSpan(SpanContext ctx);
 
   // --- Context stack (single-threaded scoped propagation) ---
-  void PushContext(SpanContext ctx) { context_stack_.push_back(ctx); }
+  // Disabled, these are no-ops rather than pushes of the invalid context
+  // Start* returned: Current() reads identically (invalid either way),
+  // and — essential under the parallel engine, where one disabled Tracer
+  // is shared by every shard — the stack is never touched from worker
+  // threads. Toggling set_enabled() with scopes open would unbalance the
+  // stack; it is only flipped while quiescent (cluster construction).
+  void PushContext(SpanContext ctx) {
+    if (enabled_) context_stack_.push_back(ctx);
+  }
   void PopContext() {
-    if (!context_stack_.empty()) context_stack_.pop_back();
+    if (enabled_ && !context_stack_.empty()) context_stack_.pop_back();
   }
   /// The innermost pushed context; invalid when the stack is empty.
   SpanContext Current() const {
@@ -121,7 +129,7 @@ class Tracer {
  private:
   Span* Find(SpanId id);
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   bool enabled_ = true;
   TraceId next_trace_ = 1;
   SpanId next_span_ = 1;

@@ -30,7 +30,7 @@ Status LogServerConfig::Validate() const {
   return Status::OK();
 }
 
-LogServer::LogServer(sim::Simulator* sim, const LogServerConfig& config)
+LogServer::LogServer(sim::Scheduler* sim, const LogServerConfig& config)
     : sim_(sim), config_(config), admission_(config.admission) {
   DLOG_CHECK_OK(config.Validate());
   cpu_ = std::make_unique<sim::Cpu>(sim, config.cpu_mips, "server-cpu");

@@ -20,7 +20,7 @@
 #include "server/client_log_store.h"
 #include "server/track_format.h"
 #include "sim/cpu.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 #include "storage/disk.h"
 #include "storage/nvram.h"
@@ -83,7 +83,7 @@ struct LogServerConfig {
 ///   * all connection state (clients see resets and reconnect).
 class LogServer {
  public:
-  LogServer(sim::Simulator* sim, const LogServerConfig& config);
+  LogServer(sim::Scheduler* sim, const LogServerConfig& config);
   ~LogServer();
 
   LogServer(const LogServer&) = delete;
@@ -228,7 +228,7 @@ class LogServer {
   /// Samples the NVRAM occupancy gauge after any buffer change.
   void NoteNvramLevel();
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   LogServerConfig config_;
   flow::AdmissionController admission_;
   std::unique_ptr<sim::Cpu> cpu_;

@@ -7,9 +7,13 @@ namespace dlog::sim::internal {
 namespace {
 
 /// Free list of fixed-size blocks for oversize callback captures. One per
-/// thread: the parallel trial runner pins each simulation to a single
-/// worker thread, so allocation and free always happen on the same list
-/// and no locking is needed.
+/// thread, so no locking: each call touches only the calling thread's
+/// list. Blocks themselves may migrate lists — under the parallel engine
+/// a shard window can execute (and free) on a different worker than the
+/// one that allocated — which is safe because every block is a plain
+/// ::operator new allocation and the engine's window barrier orders the
+/// allocating write before the freeing read. Migration just means a
+/// block drains into the freeing thread's cache.
 struct Slab {
   std::vector<void*> free_blocks;
   /// Cap the cached blocks so a burst does not pin memory forever.

@@ -25,9 +25,11 @@ CallbackAllocStats& callback_alloc_stats();
 
 /// Thread-local slab pool for callback captures that do not fit inline.
 /// Blocks are a fixed size; anything larger falls back to operator new.
-/// Per-thread (not global) so parallel trial runners never contend: a
-/// simulation is single-threaded, so a block is always freed by the
-/// thread that allocated it.
+/// Per-thread (not global) so concurrent simulations — trial-runner
+/// workers, parallel-engine shard workers — never contend. A block freed
+/// on a different thread than it was allocated (a shard window executing
+/// on another worker) simply joins the freeing thread's cache; see
+/// callback.cc for why that is safe.
 void* PoolAllocate(size_t bytes);
 void PoolFree(void* p, size_t bytes);
 constexpr size_t kPoolBlockBytes = 256;

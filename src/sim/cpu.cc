@@ -6,7 +6,7 @@
 
 namespace dlog::sim {
 
-Cpu::Cpu(Simulator* sim, double mips, std::string name)
+Cpu::Cpu(Scheduler* sim, double mips, std::string name)
     : sim_(sim), mips_(mips), name_(std::move(name)) {
   assert(mips > 0);
 }

@@ -6,7 +6,7 @@
 #include <string>
 
 #include "sim/callback.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/time.h"
 
 namespace dlog::sim {
@@ -22,7 +22,7 @@ namespace dlog::sim {
 class Cpu {
  public:
   /// `mips` is millions of instructions per second; must be > 0.
-  Cpu(Simulator* sim, double mips, std::string name = "cpu");
+  Cpu(Scheduler* sim, double mips, std::string name = "cpu");
 
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
@@ -56,7 +56,7 @@ class Cpu {
   void SetBusyProbe(BusyProbe probe) { busy_probe_ = std::move(probe); }
 
  private:
-  Simulator* sim_;
+  Scheduler* sim_;
   double mips_;
   std::string name_;
   Time free_at_ = 0;        // when previously queued work completes

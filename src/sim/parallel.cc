@@ -1,0 +1,302 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dlog::sim {
+
+namespace {
+
+/// Which shard (of which engine) the calling thread is currently
+/// executing. Set only for the duration of RunShardWindow; everything
+/// else — construction, the coordinator between windows, test code — is
+/// "quiescent" and schedules directly.
+struct ExecContext {
+  ParallelSimulator* engine = nullptr;
+  int shard = -1;
+};
+thread_local ExecContext g_ctx;
+
+}  // namespace
+
+Status ParallelConfig::Validate() const {
+  if (num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (lookahead <= 0) {
+    return Status::InvalidArgument(
+        "lookahead must be > 0 (the minimum cross-shard latency)");
+  }
+  return Status::OK();
+}
+
+Time ShardScheduler::Now() const { return engine_->ShardNow(shard_); }
+EventId ShardScheduler::At(Time t, Callback fn) {
+  return engine_->ShardAt(shard_, t, std::move(fn));
+}
+bool ShardScheduler::Cancel(EventId id) {
+  return engine_->ShardCancel(shard_, id);
+}
+
+ParallelSimulator::ParallelSimulator(const ParallelConfig& config)
+    : config_(config) {
+  DLOG_CHECK_OK(config.Validate());
+  workers_.reserve(static_cast<size_t>(config.num_workers - 1));
+  for (int i = 1; i < config.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ParallelSimulator::AddShard() {
+  assert(!InWindow() && "AddShard must be called while quiescent");
+  const int index = num_shards();
+  shards_.push_back(std::make_unique<Shard>(this, index));
+  // A late shard (a client added mid-experiment) starts at the global
+  // clock, not zero, or its first timers would precede every other node.
+  shards_.back()->core.RunUntil(now_);
+  return index;
+}
+
+bool ParallelSimulator::InWindow() const { return g_ctx.engine == this; }
+
+Time ParallelSimulator::ShardNow(int shard) const {
+  return shards_[static_cast<size_t>(shard)]->core.Now();
+}
+
+EventId ParallelSimulator::ShardAt(int shard, Time t, Callback fn) {
+  if (g_ctx.engine == this && g_ctx.shard != shard) {
+    // Cross-shard call from inside a window: mailbox it to the barrier.
+    Shard& src = *shards_[static_cast<size_t>(g_ctx.shard)];
+    const uint64_t seq = src.next_inject_seq++;
+    assert(seq <= kInjectSeqMask && "injection seqs exhausted");
+    src.inject_outbox.push_back(
+        Injection{g_ctx.shard, shard, t, seq, false, std::move(fn)});
+    return kInjectTag |
+           (static_cast<EventId>(g_ctx.shard) << kInjectShardShift) | seq;
+  }
+  // Own shard (executing it now) or quiescent: straight into the core.
+  return shards_[static_cast<size_t>(shard)]->core.At(t, std::move(fn));
+}
+
+bool ParallelSimulator::ShardCancel(int shard, EventId id) {
+  if (id & kInjectTag) {
+    const int src = static_cast<int>((id & ~kInjectTag) >> kInjectShardShift);
+    const uint64_t seq = id & kInjectSeqMask;
+    // Only the mailbox still knows this id; once the barrier transfers
+    // the injection it becomes an anonymous core event, so Cancel is
+    // best-effort cross-shard (returns false after the transfer).
+    assert((g_ctx.engine != this || g_ctx.shard == src) &&
+           "cross-shard Cancel must run on the shard that scheduled it");
+    for (Injection& inj : shards_[static_cast<size_t>(src)]->inject_outbox) {
+      if (inj.seq == seq && !inj.cancelled) {
+        inj.cancelled = true;
+        return true;
+      }
+    }
+    return false;
+  }
+  assert((g_ctx.engine != this || g_ctx.shard == shard) &&
+         "Cancel of another shard's event while its window may be running");
+  return shards_[static_cast<size_t>(shard)]->core.Cancel(id);
+}
+
+void ParallelSimulator::Post(Time t, uint64_t key, Callback fn) {
+  if (g_ctx.engine == this) {
+    Shard& src = *shards_[static_cast<size_t>(g_ctx.shard)];
+    src.post_outbox.push_back(
+        SequencedPost{t, key, g_ctx.shard,
+                      static_cast<uint64_t>(src.post_outbox.size()),
+                      std::move(fn)});
+    return;
+  }
+  // Quiescent (serial setup, coordinator replay): program order is the
+  // deterministic order — run it now, exactly like the serial engine.
+  fn();
+}
+
+Time ParallelSimulator::NextEventTime() {
+  Time next = Simulator::kNoEvent;
+  for (auto& sp : shards_) {
+    next = std::min(next, sp->core.PeekNextTime());
+  }
+  return next;
+}
+
+uint64_t ParallelSimulator::events_executed() const {
+  uint64_t total = 0;
+  for (const auto& sp : shards_) total += sp->core.events_executed();
+  return total;
+}
+
+size_t ParallelSimulator::pending_events() const {
+  size_t total = 0;
+  for (const auto& sp : shards_) {
+    total += sp->core.pending_events();
+    for (const Injection& inj : sp->inject_outbox) {
+      if (!inj.cancelled) ++total;
+    }
+  }
+  return total;
+}
+
+void ParallelSimulator::RunShardWindow(size_t index, Time upto) {
+  g_ctx = ExecContext{this, static_cast<int>(index)};
+  shards_[index]->core.RunUntil(upto);
+  g_ctx = ExecContext{};
+}
+
+void ParallelSimulator::ClaimShards() {
+  const size_t n = shards_.size();
+  for (;;) {
+    const size_t i = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    RunShardWindow(i, window_upto_);
+    // Release pairs with the coordinator's acquire: every shard's state
+    // is visible to the barrier drain.
+    if (shards_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ParallelSimulator::WorkerMain() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++idle_workers_;
+      cv_idle_.notify_all();
+      cv_start_.wait(lock,
+                     [&] { return stop_ || window_generation_ != seen; });
+      if (stop_) return;
+      seen = window_generation_;
+      --idle_workers_;
+    }
+    ClaimShards();
+  }
+}
+
+void ParallelSimulator::ExecuteWindow(Time upto) {
+  window_end_ = upto + 1;
+  const size_t n = shards_.size();
+  if (workers_.empty() || n <= 1) {
+    for (size_t i = 0; i < n; ++i) RunShardWindow(i, upto);
+    return;
+  }
+  {
+    // Wait out laggards from the previous window before resetting the
+    // claim counter, then open the new generation.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [&] {
+      return idle_workers_ == static_cast<int>(workers_.size());
+    });
+    window_upto_ = upto;
+    next_shard_.store(0, std::memory_order_relaxed);
+    shards_done_.store(0, std::memory_order_relaxed);
+    ++window_generation_;
+  }
+  cv_start_.notify_all();
+  ClaimShards();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] {
+    return shards_done_.load(std::memory_order_acquire) == n;
+  });
+}
+
+void ParallelSimulator::DrainOutboxes() {
+  posts_scratch_.clear();
+  injects_scratch_.clear();
+  for (auto& sp : shards_) {
+    for (SequencedPost& p : sp->post_outbox) {
+      posts_scratch_.push_back(std::move(p));
+    }
+    sp->post_outbox.clear();
+    for (Injection& inj : sp->inject_outbox) {
+      if (!inj.cancelled) injects_scratch_.push_back(std::move(inj));
+    }
+    sp->inject_outbox.clear();
+  }
+  // Shared-medium mutations first: (time, src node key, src shard, seq).
+  // Replaying through the unchanged serial arbitration code, in this
+  // order, is what keeps parallel runs byte-identical to serial ones.
+  std::stable_sort(posts_scratch_.begin(), posts_scratch_.end(),
+                   [](const SequencedPost& a, const SequencedPost& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     if (a.key != b.key) return a.key < b.key;
+                     if (a.src_shard != b.src_shard) {
+                       return a.src_shard < b.src_shard;
+                     }
+                     return a.seq < b.seq;
+                   });
+  for (SequencedPost& p : posts_scratch_) p.fn();
+  posts_scratch_.clear();
+
+  std::stable_sort(injects_scratch_.begin(), injects_scratch_.end(),
+                   [](const Injection& a, const Injection& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     if (a.src != b.src) return a.src < b.src;
+                     return a.seq < b.seq;
+                   });
+  for (Injection& inj : injects_scratch_) {
+    assert(inj.t >= window_end_ &&
+           "cross-shard injection inside the lookahead window");
+    shards_[static_cast<size_t>(inj.target)]->core.At(inj.t,
+                                                      std::move(inj.fn));
+  }
+  injects_scratch_.clear();
+}
+
+void ParallelSimulator::RunUntil(Time t) {
+  assert(!InWindow() && "RunUntil is not reentrant from events");
+  for (;;) {
+    const Time next = NextEventTime();
+    if (next > t) break;
+    // Window [next, next + lookahead), clipped to the horizon. Cores run
+    // events <= upto; anything the window generates for another shard
+    // lands at >= next + lookahead = upto + 1, i.e. after the barrier.
+    const Time upto = std::min(next + config_.lookahead - 1, t);
+    ExecuteWindow(upto);
+    DrainOutboxes();
+  }
+  for (auto& sp : shards_) sp->core.RunUntil(t);
+  now_ = t;
+}
+
+void ParallelSimulator::Run() {
+  assert(!InWindow() && "Run is not reentrant from events");
+  for (;;) {
+    const Time next = NextEventTime();
+    if (next == Simulator::kNoEvent) break;
+    ExecuteWindow(next + config_.lookahead - 1);
+    DrainOutboxes();
+  }
+  for (const auto& sp : shards_) now_ = std::max(now_, sp->core.Now());
+}
+
+Time ParallelSimulator::AmbientScheduler::Now() const {
+  if (g_ctx.engine == engine_) return engine_->ShardNow(g_ctx.shard);
+  return engine_->Now();
+}
+
+EventId ParallelSimulator::AmbientScheduler::At(Time t, Callback fn) {
+  const int shard = g_ctx.engine == engine_ ? g_ctx.shard : 0;
+  return engine_->ShardAt(shard, t, std::move(fn));
+}
+
+bool ParallelSimulator::AmbientScheduler::Cancel(EventId id) {
+  const int shard = g_ctx.engine == engine_ ? g_ctx.shard : 0;
+  return engine_->ShardCancel(shard, id);
+}
+
+}  // namespace dlog::sim

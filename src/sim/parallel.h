@@ -1,0 +1,237 @@
+#ifndef DLOG_SIM_PARALLEL_H_
+#define DLOG_SIM_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+
+namespace dlog::sim {
+
+class ParallelSimulator;
+
+/// The Scheduler handle bound to one shard of a ParallelSimulator. Every
+/// component on a simulated node holds its node's handle; scheduling on
+/// it lands in that shard's private event queue. Calls made while the
+/// calling thread is executing a *different* shard's window are mailboxed
+/// to the window barrier instead (see ParallelSimulator).
+class ShardScheduler final : public Scheduler {
+ public:
+  Time Now() const override;
+  EventId At(Time t, Callback fn) override;
+  bool Cancel(EventId id) override;
+
+  int shard() const { return shard_; }
+
+ private:
+  friend class ParallelSimulator;
+  ShardScheduler(ParallelSimulator* engine, int shard)
+      : engine_(engine), shard_(shard) {}
+
+  ParallelSimulator* engine_;
+  int shard_;
+};
+
+struct ParallelConfig {
+  /// Threads executing shard windows, including the caller (so 1 runs
+  /// everything inline with zero pool overhead). Only wall-clock speed
+  /// depends on this; the simulated schedule is byte-identical for every
+  /// value, because shard contents and barrier merge keys never consult
+  /// the worker count.
+  int num_workers = 1;
+  /// Conservative lookahead: the minimum latency of anything crossing a
+  /// shard boundary (in practice NetworkConfig::propagation_delay). An
+  /// event executing at time T can only affect another shard at >= T +
+  /// lookahead, so all shards may run [W, W + lookahead) concurrently.
+  Duration lookahead = 0;
+
+  /// OK iff the engine is constructible (>= 1 worker, > 0 lookahead).
+  Status Validate() const;
+};
+
+/// Conservative time-window parallel discrete-event engine. The event
+/// queue is sharded per simulated node: each shard is a private serial
+/// Simulator, and the coordinator repeatedly (1) picks the next window
+/// [W, W + lookahead) starting at the globally earliest pending event,
+/// (2) lets a worker pool execute every shard's events in that window
+/// concurrently, (3) at the window barrier, single-threaded, replays the
+/// buffered cross-shard traffic in a deterministic merge order.
+///
+/// Two kinds of traffic cross the barrier:
+///  - Sequenced posts (SequencedExecutor::Post): closures mutating
+///    actors shared by all nodes (the Network's medium arbitration and
+///    topology). Replayed in (time, key, src shard, seq) order with
+///    key = source node id; the closures then schedule deliveries onto
+///    destination shards. Posts from a quiescent caller (no window
+///    executing) run immediately, preserving setup-time program order —
+///    which is also exactly the serial engine's behavior.
+///  - Injections: ShardScheduler::At calls that target a shard other
+///    than the one the calling thread is executing. Buffered in the
+///    source shard's mailbox, transferred at the barrier in (time, src
+///    shard, seq) order, and cancellable (from the source shard) until
+///    transferred. Injection times must respect the lookahead: t >=
+///    window end, asserted at transfer.
+///
+/// Determinism: shard assignment is fixed by the harness (per node),
+/// per-shard execution is serial, and both merge orders are pure
+/// functions of simulated state — so a run is byte-identical at any
+/// worker count. It is byte-identical to the serial engine as well,
+/// because the harness gives the serial engine the same tie discipline:
+/// same-tick sequenced posts drain through sim::TickSequencer in the
+/// identical (time, key, seq) order this barrier replays, instead of in
+/// heap-insertion order (an engine artifact no sharded execution could
+/// reproduce — see TickSequencer in sim/simulator.h).
+class ParallelSimulator final : public SequencedExecutor {
+ public:
+  explicit ParallelSimulator(const ParallelConfig& config);
+  ~ParallelSimulator() override;
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  /// Adds one shard (its clock starts at Now()) and returns its index.
+  /// Quiescent only: the harness shards per node at construction and on
+  /// AddClient, never from inside a window.
+  int AddShard();
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// The handle components on shard `index` hold.
+  Scheduler* shard(int index) { return &shards_[index]->handle; }
+
+  /// Ambient scheduler for shared actors invoked from many shards (the
+  /// Network): Now()/At()/Cancel() bind to whatever shard the calling
+  /// thread is currently executing, or to shard 0 / the global clock
+  /// when quiescent.
+  Scheduler* ambient() { return &ambient_; }
+
+  /// Global clock: the time every shard has reached while quiescent.
+  Time Now() const { return now_; }
+  /// Earliest pending event across all shards, or Simulator::kNoEvent
+  /// (non-const: peeking may garbage-collect tombstoned queue heads).
+  Time NextEventTime();
+
+  /// Runs until every queue is empty.
+  void Run();
+  /// Runs events with time <= `t`, then advances every clock to `t`.
+  void RunUntil(Time t);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  /// Aggregates over shards (quiescent only).
+  uint64_t events_executed() const;
+  size_t pending_events() const;
+
+  /// SequencedExecutor: see class comment.
+  void Post(Time t, uint64_t key, Callback fn) override;
+
+  /// True while the calling thread is executing one of this engine's
+  /// shard windows.
+  bool InWindow() const;
+
+ private:
+  friend class ShardScheduler;
+
+  /// A cross-shard ShardScheduler::At buffered until the barrier.
+  struct Injection {
+    int src;
+    int target;
+    Time t;
+    uint64_t seq;
+    bool cancelled;
+    Callback fn;
+  };
+  /// A SequencedExecutor::Post buffered until the barrier.
+  struct SequencedPost {
+    Time t;
+    uint64_t key;
+    int src_shard;
+    uint64_t seq;
+    Callback fn;
+  };
+
+  struct Shard {
+    Shard(ParallelSimulator* engine, int index) : handle(engine, index) {}
+    Simulator core;
+    ShardScheduler handle;
+    /// Mailboxes of traffic *from* this shard, drained at the barrier.
+    std::vector<Injection> inject_outbox;
+    std::vector<SequencedPost> post_outbox;
+    uint64_t next_inject_seq = 1;
+  };
+
+  // Injected EventIds: tag bit 63 (serial ids never set it: slot+1 <=
+  // 2^24 shifted left 32 tops out at bit 56), source shard in bits
+  // 40..62, per-shard seq below — so an id resolves back to the mailbox
+  // entry it names until the barrier retires it.
+  static constexpr EventId kInjectTag = EventId{1} << 63;
+  static constexpr int kInjectShardShift = 40;
+  static constexpr uint64_t kInjectSeqMask =
+      (uint64_t{1} << kInjectShardShift) - 1;
+
+  // ShardScheduler forwards here with its shard index.
+  Time ShardNow(int shard) const;
+  EventId ShardAt(int shard, Time t, Callback fn);
+  bool ShardCancel(int shard, EventId id);
+
+  /// Executes one window: every shard runs its events with time <= upto.
+  void ExecuteWindow(Time upto);
+  void RunShardWindow(size_t index, Time upto);
+  /// Replays sequenced posts, then transfers injections (merge orders in
+  /// the class comment). Single-threaded, between windows.
+  void DrainOutboxes();
+  void WorkerMain();
+  void ClaimShards();
+
+  /// Ambient facade, see ambient().
+  class AmbientScheduler final : public Scheduler {
+   public:
+    explicit AmbientScheduler(ParallelSimulator* engine) : engine_(engine) {}
+    Time Now() const override;
+    EventId At(Time t, Callback fn) override;
+    bool Cancel(EventId id) override;
+
+   private:
+    ParallelSimulator* engine_;
+  };
+
+  ParallelConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  AmbientScheduler ambient_{this};
+  Time now_ = 0;
+  /// First time not covered by the executing/just-executed window;
+  /// injection times must be >= this.
+  Time window_end_ = 0;
+  /// Scratch for the barrier merge, reused across windows.
+  std::vector<SequencedPost> posts_scratch_;
+  std::vector<Injection> injects_scratch_;
+
+  // Worker pool (only spawned when num_workers > 1). A window is one
+  // "generation": workers wake on the bump, claim shard indices from
+  // next_shard_, and the last completion notifies the coordinator. The
+  // generation handshake runs under mu_, which also carries the
+  // happens-before edges between a shard's executions on different
+  // threads across windows.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  /// Workers parked at the top of their loop. The coordinator waits for
+  /// all of them before resetting per-window state, so a laggard from
+  /// the previous window can never claim a shard of the next one.
+  std::condition_variable cv_idle_;
+  int idle_workers_ = 0;
+  uint64_t window_generation_ = 0;
+  bool stop_ = false;
+  Time window_upto_ = 0;
+  std::atomic<size_t> next_shard_{0};
+  std::atomic<size_t> shards_done_{0};
+};
+
+}  // namespace dlog::sim
+
+#endif  // DLOG_SIM_PARALLEL_H_

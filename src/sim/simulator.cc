@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -129,8 +130,22 @@ bool Simulator::PopAndMaybeRun() {
   --live_events_;
   now_ = entry.time;
   ++events_executed_;
+  executing_ = true;
   fn();
+  executing_ = false;
   return true;
+}
+
+Time Simulator::PeekNextTime() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    const uint32_t slot = SlotOfEntry(top);
+    if (!slots_[slot].cancelled) return top.time;
+    --tombstones_;
+    HeapPop();
+    FreeSlot(slot);
+  }
+  return kNoEvent;
 }
 
 bool Simulator::Step() {
@@ -161,6 +176,33 @@ void Simulator::RunUntil(Time t) {
     PopAndMaybeRun();
   }
   if (t > now_) now_ = t;
+}
+
+void TickSequencer::Post(Time t, uint64_t key, Callback fn) {
+  if (!sim_->Executing()) {
+    // Quiescent: setup/teardown code observes its effects synchronously,
+    // and there is no same-tick contention to arbitrate.
+    fn();
+    return;
+  }
+  assert(t == sim_->Now() && "sequenced posts carry the caller's clock");
+  if (buffer_.empty()) {
+    sim_->At(t, [this] { Drain(); });
+  }
+  buffer_.push_back({key, next_seq_++, std::move(fn)});
+}
+
+void TickSequencer::Drain() {
+  // Sort, not stable_sort: seq is unique, so (key, seq) is a total order.
+  std::sort(buffer_.begin(), buffer_.end(), [](const Item& a, const Item& b) {
+    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+  });
+  // Swap out before running: a replayed callback may Post again (at this
+  // same tick only via a zero-delay chain, which schedules a fresh drain
+  // that pops later in the tick).
+  std::vector<Item> batch;
+  batch.swap(buffer_);
+  for (Item& item : batch) item.fn();
 }
 
 }  // namespace dlog::sim

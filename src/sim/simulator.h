@@ -2,55 +2,54 @@
 #define DLOG_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/callback.h"
+#include "sim/scheduler.h"
 #include "sim/time.h"
 
 namespace dlog::sim {
 
-/// Identifies a scheduled event so it can be cancelled. Ids are never
-/// reused within one Simulator; id 0 is never issued (callers use it as
-/// "no event").
-using EventId = uint64_t;
-
-/// A deterministic discrete-event simulator. Components schedule callbacks
-/// at absolute or relative times; Run() executes them in (time, schedule
-/// order) sequence. Single-threaded by design: a run is a pure function of
-/// the initial configuration and RNG seeds.
+/// A deterministic discrete-event simulator: the serial Scheduler
+/// implementation, and the per-shard core of the ParallelSimulator.
+/// Components schedule callbacks at absolute or relative times; Run()
+/// executes them in (time, schedule order) sequence. Single-threaded by
+/// design: a run is a pure function of the initial configuration and RNG
+/// seeds. The parallel engine honors that by giving each shard its own
+/// private Simulator and only ever driving it from one thread at a time.
 ///
 /// Engine layout (the hot path of every experiment): callbacks live in a
 /// slot table with small-buffer storage (sim::Callback — no heap
 /// allocation for captures up to 48 bytes), and the priority queue is an
-/// inline 4-ary min-heap of 24-byte plain-data entries — half the levels
+/// inline 4-ary min-heap of 16-byte plain-data entries — half the levels
 /// of a binary heap, and each level's four children share a cache line,
 /// so sifts are short and branch-predictable. Cancellation is a
 /// tombstone bit in the slot plus a per-slot generation that invalidates
 /// stale EventIds in O(1) — no hashing, and Cancel() of an event that
 /// already ran is detected exactly (the generation has advanced) instead
 /// of poisoning a cancelled-set forever.
-class Simulator {
+class Simulator final : public Scheduler {
  public:
   Simulator() = default;
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  /// "No pending event": the sentinel PeekNextTime() returns for an
+  /// empty queue, ordered after every real time.
+  static constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+
   /// Current simulated time.
-  Time Now() const { return now_; }
+  Time Now() const override { return now_; }
 
   /// Schedules `fn` to run at absolute time `t` (>= Now()). Events with
   /// equal time run in scheduling order.
-  EventId At(Time t, Callback fn);
-
-  /// Schedules `fn` to run `d` after Now().
-  EventId After(Duration d, Callback fn) {
-    return At(now_ + d, std::move(fn));
-  }
+  EventId At(Time t, Callback fn) override;
 
   /// Cancels a pending event. Returns false if it already ran or was
   /// already cancelled.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
 
   /// Runs until the event queue is empty.
   void Run();
@@ -64,12 +63,24 @@ class Simulator {
   /// Executes a single event; returns false if the queue was empty.
   bool Step();
 
+  /// Time of the earliest pending live event, or kNoEvent when the queue
+  /// is empty. May garbage-collect tombstoned entries at the queue head
+  /// as a side effect — invisible on the executed schedule. The parallel
+  /// engine's window coordinator uses this to pick each window's start.
+  Time PeekNextTime();
+
   /// Number of events executed so far.
   uint64_t events_executed() const { return events_executed_; }
 
   /// Number of live pending events (cancelled events no longer count,
   /// even while their queue entry awaits garbage collection).
   size_t pending_events() const { return live_events_; }
+
+  /// True while an event callback is running — i.e., the caller is code
+  /// executing *inside* the simulation rather than setup/teardown code
+  /// between runs. TickSequencer uses this to tell deferrable in-run
+  /// posts from quiescent ones that must apply inline.
+  bool Executing() const { return executing_; }
 
  private:
   /// A queued event: plain data only — the callback stays in its slot.
@@ -80,6 +91,14 @@ class Simulator {
   /// Limits implied by the packing: 2^40 (~10^12) events per Simulator
   /// lifetime, 2^24 (~16M) simultaneously queued — both far beyond any
   /// experiment, and asserted in At().
+  ///
+  /// Per-shard seq rule (parallel engine): each shard owns a private
+  /// Simulator, so `seq` counts that shard's schedule order only and two
+  /// shards freely issue equal seqs. Global determinism does not depend
+  /// on comparing seqs across shards: within a shard, (time, seq) orders
+  /// exactly as here; across shards, anything crossing a boundary is
+  /// re-keyed at the window barrier by (time, src node key, src shard,
+  /// outbox seq) before being re-scheduled — see sim/parallel.h.
   struct Entry {
     Time time;
     uint64_t key;  // (seq << kSlotBits) | slot
@@ -138,6 +157,7 @@ class Simulator {
   void PurgeCancelled();
 
   Time now_ = 0;
+  bool executing_ = false;
   uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
   size_t live_events_ = 0;
@@ -145,6 +165,48 @@ class Simulator {
   std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
+};
+
+/// Replays sequenced posts at the end of their tick in (key, post order)
+/// order: the serial engine's counterpart of the parallel engine's
+/// window-barrier drain (sim/parallel.h). Actors shared across nodes
+/// (the Network) Post their mutations here instead of applying them
+/// inline, so same-tick posts from different nodes apply in ascending
+/// node-key order — a pure function of simulated state — rather than in
+/// heap-insertion order, which is an engine artifact no parallel
+/// execution can reproduce. With both engines draining the same posts in
+/// the same (time, key, seq) order, a cluster run is byte-identical on
+/// the serial engine and on the parallel engine at any worker count.
+///
+/// Mechanics: the first Post in a tick schedules one drain event at the
+/// current time; since every event of tick T is already queued when T
+/// begins (components never schedule at zero delay into the running
+/// tick), the drain pops after all of them and replays the sorted batch.
+/// Posts while quiescent (setup/teardown between runs) apply inline,
+/// exactly as the parallel engine applies quiescent posts.
+class TickSequencer final : public SequencedExecutor {
+ public:
+  explicit TickSequencer(Simulator* sim) : sim_(sim) {}
+
+  TickSequencer(const TickSequencer&) = delete;
+  TickSequencer& operator=(const TickSequencer&) = delete;
+
+  /// `t` must be the caller's current clock (posts carry no lookahead on
+  /// the serial engine — the drain runs within the same tick).
+  void Post(Time t, uint64_t key, Callback fn) override;
+
+ private:
+  void Drain();
+
+  struct Item {
+    uint64_t key;
+    uint64_t seq;
+    Callback fn;
+  };
+
+  Simulator* sim_;
+  uint64_t next_seq_ = 0;
+  std::vector<Item> buffer_;
 };
 
 }  // namespace dlog::sim

@@ -17,7 +17,7 @@ Status DiskConfig::Validate() const {
   return Status::OK();
 }
 
-SimDisk::SimDisk(sim::Simulator* sim, const DiskConfig& config,
+SimDisk::SimDisk(sim::Scheduler* sim, const DiskConfig& config,
                  std::string name)
     : sim_(sim), config_(config), name_(std::move(name)) {
   DLOG_CHECK_OK(config.Validate());

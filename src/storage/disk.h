@@ -9,7 +9,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "common/status.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -46,7 +46,7 @@ struct DiskConfig {
 /// crash time is lost without effect (the old track contents remain).
 class SimDisk {
  public:
-  SimDisk(sim::Simulator* sim, const DiskConfig& config,
+  SimDisk(sim::Scheduler* sim, const DiskConfig& config,
           std::string name = "disk");
 
   SimDisk(const SimDisk&) = delete;
@@ -123,7 +123,7 @@ class SimDisk {
   /// Computes service components and advances head position.
   Service ServiceTime(uint64_t track);
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   DiskConfig config_;
   std::string name_;
   std::map<uint64_t, Bytes> tracks_;

@@ -6,7 +6,7 @@
 
 namespace dlog::tp {
 
-TransactionEngine::TransactionEngine(sim::Simulator* sim, TxnLogger* logger,
+TransactionEngine::TransactionEngine(sim::Scheduler* sim, TxnLogger* logger,
                                      PageDisk* disk,
                                      const EngineConfig& config)
     : sim_(sim), logger_(logger), disk_(disk), config_(config) {

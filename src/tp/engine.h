@@ -13,7 +13,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 #include "tp/logger.h"
 #include "tp/storage.h"
@@ -47,7 +47,7 @@ struct EngineConfig {
 /// undone in reverse LSN order using cached-or-logged undo components.
 class TransactionEngine {
  public:
-  TransactionEngine(sim::Simulator* sim, TxnLogger* logger, PageDisk* disk,
+  TransactionEngine(sim::Scheduler* sim, TxnLogger* logger, PageDisk* disk,
                     const EngineConfig& config);
 
   TransactionEngine(const TransactionEngine&) = delete;
@@ -123,7 +123,7 @@ class TransactionEngine {
   /// (required before cleaning under splitting).
   Status FlushUndoFor(PageId page);
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   TxnLogger* logger_;
   PageDisk* disk_;
   EngineConfig config_;

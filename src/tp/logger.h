@@ -9,7 +9,7 @@
 #include "common/log_types.h"
 #include "common/result.h"
 #include "common/status.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace dlog::tp {
 
@@ -71,7 +71,7 @@ class ReplicatedTxnLogger : public TxnLogger {
 /// unit tests.
 class InMemoryTxnLogger : public TxnLogger {
  public:
-  explicit InMemoryTxnLogger(sim::Simulator* sim) : sim_(sim) {}
+  explicit InMemoryTxnLogger(sim::Scheduler* sim) : sim_(sim) {}
 
   Result<Lsn> Append(Bytes payload) override {
     records_.push_back(std::move(payload));
@@ -102,7 +102,7 @@ class InMemoryTxnLogger : public TxnLogger {
   Lsn forced_high() const { return forced_high_; }
 
  private:
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   std::vector<Bytes> records_;
   Lsn forced_high_ = 0;
 };

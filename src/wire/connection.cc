@@ -230,7 +230,7 @@ void Connection::Close() {
 
 // --- Endpoint ---
 
-Endpoint::Endpoint(sim::Simulator* sim, sim::Cpu* cpu, net::NodeId id,
+Endpoint::Endpoint(sim::Scheduler* sim, sim::Cpu* cpu, net::NodeId id,
                    const WireConfig& config)
     : sim_(sim),
       cpu_(cpu),

@@ -13,7 +13,7 @@
 #include "flow/window.h"
 #include "net/network.h"
 #include "sim/cpu.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -186,7 +186,7 @@ class Endpoint {
  public:
   using AcceptHandler = std::function<void(Connection*)>;
 
-  Endpoint(sim::Simulator* sim, sim::Cpu* cpu, net::NodeId id,
+  Endpoint(sim::Scheduler* sim, sim::Cpu* cpu, net::NodeId id,
            const WireConfig& config);
 
   Endpoint(const Endpoint&) = delete;
@@ -231,7 +231,7 @@ class Endpoint {
   /// endpoint's `WireConfig::initial_incarnation` past this value.
   uint64_t incarnation() const { return incarnation_; }
   const WireConfig& config() const { return config_; }
-  sim::Simulator* simulator() { return sim_; }
+  sim::Scheduler* simulator() { return sim_; }
 
   sim::Counter& packets_sent() { return packets_sent_; }
   sim::Counter& packets_received() { return packets_received_; }
@@ -266,7 +266,7 @@ class Endpoint {
   void ProcessPacket(const net::Packet& packet);
   uint64_t NewConnectionId();
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   sim::Cpu* cpu_;
   net::NodeId id_;
   WireConfig config_;

@@ -7,7 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "wire/connection.h"
 #include "wire/messages.h"
 
@@ -38,11 +38,11 @@ class RpcClient {
   /// available right now (the retry timer keeps running).
   using ConnectionProvider = std::function<Connection*()>;
 
-  RpcClient(sim::Simulator* sim, ConnectionProvider provider)
+  RpcClient(sim::Scheduler* sim, ConnectionProvider provider)
       : sim_(sim), provider_(std::move(provider)) {}
 
   /// Convenience for a fixed connection (tests, short-lived use).
-  RpcClient(sim::Simulator* sim, Connection* connection)
+  RpcClient(sim::Scheduler* sim, Connection* connection)
       : RpcClient(sim, [connection]() { return connection; }) {}
 
   RpcClient(const RpcClient&) = delete;
@@ -75,7 +75,7 @@ class RpcClient {
   void Transmit(uint64_t rpc_id);
   void OnTimeout(uint64_t rpc_id);
 
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   ConnectionProvider provider_;
   uint64_t next_rpc_id_ = 1;
   std::map<uint64_t, PendingCall> pending_;
