@@ -1,0 +1,267 @@
+// Experiment E17 — large-cluster scale: a 50-server / 5000-client ET1
+// slice on the serial and sharded engines.
+//
+// The ROADMAP's scale-out target made measurable: every client runs the
+// real protocol (init via interval gather + epoch acquisition, grouped
+// WriteLog/ForceLog streams, retry timers, driver backpressure) against
+// a 50-server fleet on a 1 Gbit LAN. The bench reports raw engine
+// throughput (events/s over the measured window), wall-clock, peak RSS,
+// and per-client memory, and proves determinism: the workload's
+// end-state hash (per-client committed/failed/shed + per-server records
+// written) must be identical on the serial engine and on the parallel
+// engine at every worker count and shard-group size.
+//
+// Each client talks to a 5-server slice of the fleet (servers
+// (i+j) % M, j = 0..4) with its generator representatives on the first
+// three — both the write load and the Appendix I identifier-generator
+// load spread uniformly, as a real deployment would place them.
+//
+// Usage: bench_e17_scale [clients] [servers] [window_seconds]
+// Defaults: 5000 50 5. CI gates a reduced geometry (400 10 2) via
+// tools/bench_diff.py on determinism_ok / committed_txns / events_per_sec;
+// the full-size run is the acceptance configuration. Exit is nonzero on
+// any determinism mismatch. Engine speed varies run to run, so
+// BENCH_E17.json is bench_diff-gated (directional, generous threshold),
+// never byte-compared.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/et1_driver.h"
+#include "harness/stop_latch.h"
+#include "obs/bench_report.h"
+
+namespace {
+
+using namespace dlog;
+
+struct EngineSetup {
+  int workers = 0;          // 0 = serial sim::Simulator
+  int nodes_per_shard = 1;  // parallel only
+};
+
+struct RunResult {
+  EngineSetup setup;
+  uint64_t committed = 0;
+  uint64_t failed = 0;
+  uint64_t shed = 0;
+  uint64_t records_written = 0;
+  uint64_t hash = 0;
+  uint64_t window_events = 0;
+  double window_wall_s = 0;   // wall-clock of the measured RunFor
+  double total_wall_s = 0;    // init + warmup + window
+  double events_per_sec = 0;  // window_events / window_wall_s
+  double peak_rss_mb = 0;
+  double rss_per_client_kb = 0;  // construction RSS delta / clients
+};
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+double PeakRssMb() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KB -> MB
+}
+
+RunResult RunConfig(const EngineSetup& setup, int clients, int servers,
+                    int window_seconds) {
+  RunResult r;
+  r.setup = setup;
+
+  const double rss_before_mb = PeakRssMb();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  harness::ClusterConfig cluster_cfg;
+  cluster_cfg.num_servers = servers;
+  cluster_cfg.shard_workers = setup.workers;
+  cluster_cfg.nodes_per_shard = setup.nodes_per_shard;
+  // A modern-LAN profile: at the 1987 default of 10 Mbit the fleet's
+  // aggregate init + log traffic would saturate the medium long before
+  // the engine becomes the bottleneck this bench measures.
+  cluster_cfg.network.bandwidth_bits_per_sec = 1e9;
+  cluster_cfg.run_until_quantum = sim::kMillisecond;
+  harness::Cluster cluster(cluster_cfg);
+
+  harness::StopLatch started(static_cast<uint64_t>(clients));
+  std::vector<std::unique_ptr<harness::Et1Driver>> drivers;
+  drivers.reserve(static_cast<size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    client::LogClientConfig log_cfg;
+    log_cfg.client_id = static_cast<ClientId>(i + 1);
+    // A 5-server slice of the fleet, representatives on its first 3.
+    for (int j = 0; j < 5; ++j) {
+      log_cfg.servers.push_back(
+          static_cast<net::NodeId>((i + j) % servers + 1));
+    }
+    log_cfg.generator_reps.assign(log_cfg.servers.begin(),
+                                  log_cfg.servers.begin() + 3);
+    log_cfg.seed = 1700 + static_cast<uint64_t>(i);
+    harness::Et1DriverConfig driver_cfg;
+    driver_cfg.tps = 2.0;
+    driver_cfg.seed = 17000 + static_cast<uint64_t>(i);
+    driver_cfg.max_log_backlog = 64;
+    driver_cfg.start_latch = &started;
+    // Light per-client bank: the protocol load is what's under test,
+    // and 5000 default-size banks would dominate the memory budget.
+    driver_cfg.bank.accounts = 100;
+    driver_cfg.bank.tellers = 10;
+    driver_cfg.bank.branches = 2;
+    drivers.push_back(std::make_unique<harness::Et1Driver>(
+        &cluster, log_cfg, driver_cfg));
+  }
+  // Stagger the fleet's Init calls over two simulated seconds so the
+  // generator representatives see a ramp, not 5000 simultaneous epoch
+  // acquisitions at t = 0.
+  const sim::Duration spread = 2 * sim::kSecond;
+  for (int i = 0; i < clients; ++i) {
+    harness::Et1Driver* d = drivers[static_cast<size_t>(i)].get();
+    cluster.client_scheduler(i).At(
+        static_cast<sim::Time>(i) * spread / clients,
+        [d]() { d->Start(); });
+  }
+  r.rss_per_client_kb =
+      (PeakRssMb() - rss_before_mb) * 1024.0 / clients;
+
+  // Init barrier: a single atomic-flag stop condition, not an
+  // O(clients) predicate per poll.
+  if (!cluster.RunUntil(started, 120 * sim::kSecond)) {
+    std::fprintf(stderr, "E17: fleet failed to initialize (%llu left)\n",
+                 static_cast<unsigned long long>(started.remaining()));
+    std::exit(1);
+  }
+  cluster.RunFor(1 * sim::kSecond);  // warm-up past the start transient
+
+  const uint64_t events_before = setup.workers == 0
+                                     ? cluster.sim().events_executed()
+                                     : cluster.parallel_sim().events_executed();
+  const auto window_start = std::chrono::steady_clock::now();
+  cluster.RunFor(window_seconds * sim::kSecond);
+  const auto window_end = std::chrono::steady_clock::now();
+  const uint64_t events_after = setup.workers == 0
+                                    ? cluster.sim().events_executed()
+                                    : cluster.parallel_sim().events_executed();
+
+  r.hash = 1469598103934665603ULL;  // FNV offset basis
+  for (auto& d : drivers) {
+    r.committed += d->committed();
+    r.failed += d->failed();
+    r.shed += d->txns_shed();
+    r.hash = Fnv1a(r.hash, d->committed());
+    r.hash = Fnv1a(r.hash, d->failed());
+    r.hash = Fnv1a(r.hash, d->txns_shed());
+  }
+  for (int s = 1; s <= servers; ++s) {
+    const uint64_t written = cluster.server(s).records_written().value();
+    r.records_written += written;
+    r.hash = Fnv1a(r.hash, written);
+  }
+  r.window_events = events_after - events_before;
+  r.window_wall_s =
+      std::chrono::duration<double>(window_end - window_start).count();
+  r.total_wall_s =
+      std::chrono::duration<double>(window_end - wall_start).count();
+  r.events_per_sec =
+      static_cast<double>(r.window_events) / r.window_wall_s;
+  r.peak_rss_mb = PeakRssMb();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 5000;
+  const int servers = argc > 2 ? std::atoi(argv[2]) : 50;
+  const int window_seconds = argc > 3 ? std::atoi(argv[3]) : 5;
+
+  // Serial first: peak RSS is a process-wide high-water mark, so only
+  // the first cluster's numbers are attributable.
+  const std::vector<EngineSetup> setups = {
+      {0, 1}, {2, 128}, {8, 128}, {8, 512}};
+
+  std::printf(
+      "E17: scale slice, %d clients x %d servers, 1 Gbit LAN, 2.0 TPS "
+      "per client, %ds measured window\n\n",
+      clients, servers, window_seconds);
+  std::printf(
+      "  engine        | events/s | window wall s | committed | shed | "
+      "hash\n");
+
+  std::vector<RunResult> results;
+  for (const EngineSetup& setup : setups) {
+    results.push_back(RunConfig(setup, clients, servers, window_seconds));
+    const RunResult& r = results.back();
+    char engine[32];
+    if (setup.workers == 0) {
+      std::snprintf(engine, sizeof engine, "serial");
+    } else {
+      std::snprintf(engine, sizeof engine, "w=%d nps=%d", setup.workers,
+                    setup.nodes_per_shard);
+    }
+    std::printf("  %-13s | %8.0f | %13.2f | %9llu | %4llu | %016llx\n",
+                engine, r.events_per_sec, r.window_wall_s,
+                static_cast<unsigned long long>(r.committed),
+                static_cast<unsigned long long>(r.shed),
+                static_cast<unsigned long long>(r.hash));
+  }
+
+  bool deterministic = true;
+  for (const RunResult& r : results) {
+    if (r.hash != results[0].hash) deterministic = false;
+  }
+
+  obs::BenchReport report("E17");
+  for (const RunResult& r : results) {
+    report.BeginRow();
+    report.SetConfig("engine", r.setup.workers == 0 ? "serial" : "parallel");
+    report.SetConfig("workers", r.setup.workers);
+    report.SetConfig("nodes_per_shard", r.setup.nodes_per_shard);
+    report.SetConfig("clients", clients);
+    report.SetConfig("servers", servers);
+    report.SetConfig("window_seconds", window_seconds);
+    report.SetMetric("events_per_sec", r.events_per_sec);
+    report.SetMetric("window_events", static_cast<double>(r.window_events));
+    report.SetMetric("window_wall_seconds", r.window_wall_s);
+    report.SetMetric("total_wall_seconds", r.total_wall_s);
+    report.SetMetric("committed_txns", static_cast<double>(r.committed));
+    report.SetMetric("failed_txns", static_cast<double>(r.failed));
+    report.SetMetric("shed_txns", static_cast<double>(r.shed));
+    report.SetMetric("records_written",
+                     static_cast<double>(r.records_written));
+    report.SetMetric("determinism_ok",
+                     r.hash == results[0].hash ? 1.0 : 0.0);
+    if (r.setup.workers == 0) {
+      report.SetMetric("peak_rss_mb", r.peak_rss_mb);
+      report.SetMetric("rss_per_client_kb", r.rss_per_client_kb);
+    }
+  }
+  Status st = report.WriteJson("BENCH_E17.json");
+  if (!st.ok()) {
+    std::printf("failed to write BENCH_E17.json: %s\n",
+                st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_E17.json (%zu rows)\n", report.rows());
+  std::printf("serial peak RSS %.0f MB, ~%.0f KB/client at construction\n",
+              results[0].peak_rss_mb, results[0].rss_per_client_kb);
+
+  if (!deterministic) {
+    std::printf("FAIL: end-state hash differs across engines\n");
+    return 1;
+  }
+  std::printf("determinism: end-state identical across %zu engine "
+              "configurations\n", setups.size());
+  return 0;
+}

@@ -11,6 +11,18 @@
 //     rescheduling events with steady cancel churn, captures sized like
 //     the wire layer's (inline-eligible in the new engine).
 //
+//   * wheel: the same cancel-heavy workload on the current engine with
+//     the hierarchical timer wheel enabled (the default) and disabled
+//     (pure binary heap). The workload's far-out retry timers are the
+//     wheel's target: cancelled entries die in their bucket for free
+//     instead of riding the heap until expiry. The executed schedules
+//     must be identical — the wheel is schedule-invisible.
+//
+//   * obs: the disabled-tracer hot path, gated at zero heap
+//     allocations. Span names and node labels pass as string_views, so
+//     a disabled tracer at every-event call frequency must not touch
+//     the allocator; a global operator-new counter proves it.
+//
 //   * wire: payload bytes memcpy'd per delivered record, after their
 //     initial serialization (the dlog::BytesCopied() counter). "after"
 //     runs the real stack: trailer framing in place, SharedBytes slices
@@ -43,11 +55,13 @@
 // Usage: bench_engine_throughput [engine_events] [cluster_records]
 //            [shard_workers]
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <new>
 #include <queue>
 #include <string>
 #include <unordered_set>
@@ -56,10 +70,27 @@
 #include "common/bytes.h"
 #include "harness/cluster.h"
 #include "obs/bench_report.h"
+#include "obs/trace.h"
 #include "server/track_format.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
 #include "wire/messages.h"
+
+// Global allocation tally backing the obs section's zero-allocation
+// regression assert. Counting is process-wide; the assert reads a delta
+// across a single-threaded region, so relaxed ordering suffices.
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -157,12 +188,14 @@ struct PacketCapture {
 /// population of cancelled entries). Runs until `target` events have
 /// executed.
 template <typename Sim>
-uint64_t RunEngineWorkload(Sim& sim, uint64_t target, int width) {
+uint64_t RunEngineWorkload(Sim& sim, uint64_t target, int width,
+                           sim::Duration decoy_delay = 3000) {
   struct Chain {
     Sim* sim;
     uint64_t remaining;
     uint64_t step = 0;
     uint64_t decoy = 0;
+    sim::Duration decoy_delay = 0;
 
     void Fire(const PacketCapture& pkt) {
       if (remaining == 0) return;
@@ -175,7 +208,7 @@ uint64_t RunEngineWorkload(Sim& sim, uint64_t target, int width) {
       // The retry timer: armed now, disarmed next step, dead weight in
       // the queue until its expiry sweeps past.
       PacketCapture decoy_pkt = pkt;
-      decoy = sim->After(3000 + (step % 7), [decoy_pkt] {
+      decoy = sim->After(decoy_delay + (step % 7), [decoy_pkt] {
         (void)decoy_pkt;
       });
       Chain* self = this;
@@ -192,6 +225,7 @@ uint64_t RunEngineWorkload(Sim& sim, uint64_t target, int width) {
     c->sim = &sim;
     c->remaining = per_chain;
     c->step = static_cast<uint64_t>(i);
+    c->decoy_delay = decoy_delay;
     chains.push_back(std::move(c));
   }
   for (auto& c : chains) {
@@ -523,6 +557,87 @@ int main(int argc, char** argv) {
     report.SetMetric("events_per_sec_before", before_rate);
     report.SetMetric("events_per_sec_after", after_rate);
     report.SetMetric("speedup", after_rate / before_rate);
+  }
+
+  // Wheel: timer wheel vs heap-only on the cancel-heavy workload. The
+  // wheel only re-stages insertion, so both runs must execute the exact
+  // same number of events.
+  {
+    double wheel_rate = 0;
+    double heap_rate = 0;
+    uint64_t wheel_events = 0;
+    uint64_t heap_events = 0;
+    // Decoys sit milliseconds out — the force/RPC-timeout distance that
+    // clears the wheel's staging horizon (2^20 ticks), where a heap-only
+    // queue carries every cancelled timer until its expiry sweeps past.
+    const sim::Duration decoy_delay = 2 * sim::kMillisecond;
+    for (int rep = 0; rep < 3; ++rep) {
+      sim::Simulator wheel;  // the wheel is on by default
+      auto t0 = std::chrono::steady_clock::now();
+      wheel_events =
+          RunEngineWorkload(wheel, engine_events, /*width=*/64, decoy_delay);
+      const double r_wheel = wheel_events / SecondsSince(t0);
+      if (r_wheel > wheel_rate) wheel_rate = r_wheel;
+
+      sim::Simulator heap_only;
+      heap_only.EnableTimerWheel(false);
+      t0 = std::chrono::steady_clock::now();
+      heap_events = RunEngineWorkload(heap_only, engine_events, /*width=*/64,
+                                      decoy_delay);
+      const double r_heap = heap_events / SecondsSince(t0);
+      if (r_heap > heap_rate) heap_rate = r_heap;
+    }
+    const bool identical = wheel_events == heap_events;
+    std::printf("wheel: heap-only %.0f events/s, wheel %.0f events/s "
+                "(%.2fx), schedules %s\n",
+                heap_rate, wheel_rate, wheel_rate / heap_rate,
+                identical ? "identical" : "DIVERGED");
+    if (!identical) return 1;
+
+    report.BeginRow();
+    report.SetConfig("section", std::string("wheel"));
+    report.SetConfig("target_events", static_cast<double>(engine_events));
+    report.SetMetric("events_per_sec_heap_only", heap_rate);
+    report.SetMetric("events_per_sec_wheel", wheel_rate);
+    report.SetMetric("speedup_wheel", wheel_rate / heap_rate);
+    report.SetMetric("schedule_identical", identical ? 1.0 : 0.0);
+  }
+
+  // Obs: the disabled-tracer hot path must not allocate. Every call
+  // below passes literals as string_views — the shapes the server and
+  // client hot paths use at every-event frequency.
+  {
+    sim::Simulator sim;
+    obs::Tracer tracer(&sim);
+    tracer.set_enabled(false);
+    constexpr uint64_t kCalls = 200'000;
+    const uint64_t allocs_before =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    for (uint64_t i = 0; i < kCalls; ++i) {
+      obs::SpanContext span =
+          tracer.StartSpan("record.append", "server-17", {});
+      tracer.AddArg(span, "lsn", i);
+      obs::SpanContext instant =
+          tracer.Instant("force.ack", "server-17", span);
+      (void)instant;
+      tracer.EndSpan(span);
+    }
+    const uint64_t allocs =
+        g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+    std::printf("obs: %llu disabled-tracer calls, %llu heap allocations\n",
+                static_cast<unsigned long long>(4 * kCalls),
+                static_cast<unsigned long long>(allocs));
+    if (allocs != 0) {
+      std::printf("obs: REGRESSION — disabled tracer hit the heap\n");
+      return 1;
+    }
+
+    report.BeginRow();
+    report.SetConfig("section", std::string("obs"));
+    report.SetConfig("calls", static_cast<double>(4 * kCalls));
+    report.SetMetric("disabled_tracer_allocs",
+                     static_cast<double>(allocs));
+    report.SetMetric("zero_alloc_ok", allocs == 0 ? 1.0 : 0.0);
   }
 
   // Wire: bytes copied per delivered record, old chain vs new chain.

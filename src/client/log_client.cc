@@ -149,11 +149,7 @@ void LogClient::RegisterMetrics(obs::MetricsRegistry* registry) const {
 }
 
 obs::SpanContext LogClient::ForceContext() const {
-  for (auto it = force_waiters_.rbegin(); it != force_waiters_.rend();
-       ++it) {
-    if (it->span.valid()) return it->span;
-  }
-  return {};
+  return force_ctx_cache_;
 }
 
 wire::RpcClient::CallOptions LogClient::RpcOpts() const {
@@ -290,6 +286,10 @@ void LogClient::ForceLog(Lsn upto, std::function<void(Status)> done) {
         tracer_->StartSpan("ForceLog", trace_node_, tracer_->Current());
     tracer_->AddArg(waiter.span, "upto", upto);
   }
+  if (waiter.span.valid()) {
+    force_ctx_cache_ = waiter.span;
+    ++force_ctx_valid_spans_;
+  }
   force_waiters_.push_back(std::move(waiter));
   PumpSends();
   ArmRetryTimer();
@@ -297,7 +297,11 @@ void LogClient::ForceLog(Lsn upto, std::function<void(Status)> done) {
 }
 
 std::vector<LogClient::ServerLink*> LogClient::WriteSet() {
+  // Returned by value: callers iterate while nested sends can re-enter
+  // PumpSends (inline-delivery configurations), so a shared buffer
+  // would be mutated under the caller's feet.
   std::vector<ServerLink*> out;
+  out.reserve(write_set_.size());
   for (net::NodeId node : write_set_) {
     ServerLink* link = LinkOf(node);
     if (link != nullptr) out.push_back(link);
@@ -357,6 +361,9 @@ net::NodeId LogClient::PickReplacement(
 }
 
 void LogClient::ChooseWriteSet() {
+  // Full house (the common case, hit once per PumpSends): nothing to do,
+  // and no exclusion set to build.
+  if (write_set_.size() >= static_cast<size_t>(config_.copies)) return;
   std::set<net::NodeId> members(write_set_.begin(), write_set_.end());
   while (write_set_.size() < static_cast<size_t>(config_.copies)) {
     const net::NodeId pick = PickReplacement(members);
@@ -381,11 +388,7 @@ void LogClient::ChooseWriteSet() {
 }
 
 size_t LogClient::UnackedSentRecords() const {
-  size_t n = 0;
-  for (const auto& [lsn, pr] : pending_) {
-    if (!pr.sent_to.empty()) ++n;
-  }
-  return n;
+  return unacked_sent_records_;
 }
 
 void LogClient::JoinWriteSetMember(net::NodeId node) {
@@ -454,6 +457,7 @@ void LogClient::StreamMulticast() {
         if (tracer_ != nullptr) tracer_->EndSpan(pr.group_span);
       }
       if (!send_parent.valid()) send_parent = pr.group_span;
+      if (pr.sent_to.empty()) ++unacked_sent_records_;
       for (ServerLink* link : ws) {
         pr.sent_to.insert(link->node);
         link->sent_high = std::max(link->sent_high, it->first);
@@ -566,6 +570,7 @@ void LogClient::StreamTo(ServerLink* link) {
         if (tracer_ != nullptr) tracer_->EndSpan(pr.group_span);
       }
       if (!send_parent.valid()) send_parent = pr.group_span;
+      if (pr.sent_to.empty()) ++unacked_sent_records_;
       pr.sent_to.insert(link->node);
       link->sent_high = std::max(link->sent_high, it->first);
       msg.records.push_back(pr.record);
@@ -716,6 +721,7 @@ void LogClient::CheckForceCompletion() {
       std::vector<ServerId> holders(pr.acked_by.begin(), pr.acked_by.end());
       view_.NoteWrite(pr.record.lsn, pr.record.epoch, holders);
       bytes_buffered_ -= pr.record.data.size();
+      if (!pr.sent_to.empty()) --unacked_sent_records_;
       it = pending_.erase(it);
     } else {
       ++it;
@@ -730,6 +736,9 @@ void LogClient::CheckForceCompletion() {
                           1e3);
     forces_completed_.Increment();
     if (tracer_ != nullptr) tracer_->EndSpan(w.span);
+    if (w.span.valid() && --force_ctx_valid_spans_ == 0) {
+      force_ctx_cache_ = {};
+    }
     auto done = std::move(w.done);
     force_waiters_.pop_front();
     done(Status::OK());
@@ -765,6 +774,7 @@ void LogClient::OnMissingInterval(ServerLink* link, Lsn low, Lsn high) {
   batch.epoch = epoch_;
   for (auto it = first_pending; it != pending_.end() && it->first <= high;
        ++it) {
+    if (it->second.sent_to.empty()) ++unacked_sent_records_;
     it->second.sent_to.insert(link->node);
     batch.records.push_back(it->second.record);
   }
@@ -906,9 +916,7 @@ Lsn LogClient::TruncateLog(Lsn below) {
     if (link->conn != nullptr) link->conn->Send(encoded);
   }
   view_.TruncateBelow(below);
-  for (auto it = read_cache_.begin(); it != read_cache_.end();) {
-    it = it->first < below ? read_cache_.erase(it) : std::next(it);
-  }
+  read_cache_.erase(read_cache_.begin(), read_cache_.lower_bound(below));
   return below;
 }
 
@@ -1705,7 +1713,10 @@ void LogClient::Crash() {
     retry_timer_ = 0;
   }
   force_waiters_.clear();
+  force_ctx_cache_ = {};
+  force_ctx_valid_spans_ = 0;
   pending_.clear();
+  unacked_sent_records_ = 0;
   read_cache_.clear();
   for (net::NodeId node : write_set_) LeaveWriteSetMember(node);
   write_set_.clear();

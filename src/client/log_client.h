@@ -249,6 +249,9 @@ class LogClient {
 
   // --- write pipeline ---
   void ChooseWriteSet();
+  /// The current write-set links in write_set_ order (a snapshot:
+  /// nested re-entry into PumpSends must not invalidate the caller's
+  /// iteration).
   std::vector<ServerLink*> WriteSet();
   net::NodeId PickReplacement(const std::set<net::NodeId>& exclude);
   void PumpSends();
@@ -306,7 +309,17 @@ class LogClient {
   std::map<net::NodeId, sim::Time> avoid_until_;
 
   std::map<Lsn, PendingRecord> pending_;
+  /// Count of pending_ entries with a non-empty sent_to set, maintained
+  /// at the sent_to/erase transition points so the δ-bound check in the
+  /// streaming hot path is O(1) instead of a pending_ sweep.
+  size_t unacked_sent_records_ = 0;
   std::deque<ForceWaiter> force_waiters_;
+  /// Cached ForceContext(): the span of the newest force_waiters_ entry
+  /// with a valid span, plus the count of valid spans in the deque
+  /// (waiters only ever push at the back and pop at the front, so the
+  /// newest valid span changes only on push or on drain-to-zero).
+  obs::SpanContext force_ctx_cache_;
+  size_t force_ctx_valid_spans_ = 0;
   sim::EventId retry_timer_ = 0;
   /// Small cache of records brought back by ReadLogForward packing.
   std::map<Lsn, LogRecord> read_cache_;

@@ -12,10 +12,21 @@ namespace {
 sim::ParallelConfig MakeParallelConfig(const ClusterConfig& config) {
   sim::ParallelConfig pc;
   pc.num_workers = config.shard_workers;
-  // The LAN's propagation delay is the minimum cross-node latency:
-  // nothing a node does at time T reaches another node before T + delay,
-  // which is exactly the conservative-lookahead contract.
-  pc.lookahead = config.network.propagation_delay;
+  // Per-link lookahead: nothing a node does at time T reaches another
+  // node before T + propagation_delay + the time the header alone spends
+  // on the wire. Network::SendNow computes arrival as
+  // max(enqueue, medium_free) + tx_time + propagation, and tx_time >=
+  // header_bytes * 8 / bandwidth for any packet, so this is still a
+  // conservative bound — but a meaningfully larger window than the bare
+  // propagation floor on slow LANs, which directly divides barrier
+  // frequency. Barrier-scheduled deliveries (drained at the window edge)
+  // are posted onto shard cores sitting exactly at the window end, so
+  // they can never land inside a closed window regardless of lookahead.
+  pc.lookahead =
+      config.network.propagation_delay +
+      sim::SecondsToDuration(
+          static_cast<double>(config.network.header_bytes) * 8.0 /
+          config.network.bandwidth_bits_per_sec);
   return pc;
 }
 
@@ -30,6 +41,9 @@ Status ClusterConfig::Validate() const {
   }
   if (shard_workers < 0) {
     return Status::InvalidArgument("shard_workers must be >= 0");
+  }
+  if (nodes_per_shard < 1) {
+    return Status::InvalidArgument("nodes_per_shard must be >= 1");
   }
   if (shard_workers > 0) {
     if (tracing || profiling) {
@@ -68,6 +82,7 @@ Cluster::Cluster(const ClusterConfig& config)
   DLOG_CHECK_OK(config.Validate());
   tracer_.set_enabled(config.tracing);
   if (serial_ != nullptr) {
+    serial_->EnableTimerWheel(config.timer_wheel);
     tick_seq_ = std::make_unique<sim::TickSequencer>(serial_.get());
   }
   for (int i = 0; i < config.num_networks; ++i) {
@@ -78,7 +93,7 @@ Cluster::Cluster(const ClusterConfig& config)
     if (parallel_ != nullptr) {
       networks_.back()->SetSequencing(
           {parallel_.get(), [this](net::NodeId id) {
-             return node_schedulers_.at(id);
+             return node_schedulers_[id];
            }});
     } else {
       // The serial engine sequences network mutations too: same-tick
@@ -103,10 +118,16 @@ Cluster::Cluster(const ClusterConfig& config)
   for (int i = 0; i < config.num_servers; ++i) {
     server::LogServerConfig server_cfg = config.server;
     server_cfg.node_id = static_cast<net::NodeId>(i + 1);
-    sim::Scheduler* sched = serial_ != nullptr
-                                ? static_cast<sim::Scheduler*>(serial_.get())
-                                : parallel_->shard(parallel_->AddShard());
-    node_schedulers_[server_cfg.node_id] = sched;
+    sim::Scheduler* sched;
+    if (serial_ != nullptr) {
+      sched = serial_.get();
+      server_shards_.push_back(0);
+    } else {
+      const int shard = AssignShard();
+      server_shards_.push_back(shard);
+      sched = parallel_->shard(shard);
+    }
+    SetNodeScheduler(server_cfg.node_id, sched);
     auto server = std::make_unique<server::LogServer>(sched, server_cfg);
     for (auto& network : networks_) server->AttachNetwork(network.get());
     server->SetTracer(&tracer_);
@@ -203,8 +224,8 @@ ClientHandle Cluster::AddClient(client::LogClientConfig config) {
   ClientSlot slot;
   slot.config = config;
   if (parallel_ != nullptr) {
-    slot.shard = parallel_->AddShard();
-    node_schedulers_[config.node_id] = parallel_->shard(slot.shard);
+    slot.shard = AssignShard();
+    SetNodeScheduler(config.node_id, parallel_->shard(slot.shard));
   }
   sim::Scheduler* sched = serial_ != nullptr
                               ? static_cast<sim::Scheduler*>(serial_.get())
@@ -238,6 +259,14 @@ void Cluster::RestartClient(int index) {
   slot.node = BuildClient(slot.config, &client_scheduler(index));
 }
 
+int Cluster::AssignShard() {
+  if (nodes_assigned_ % config_.nodes_per_shard == 0) {
+    current_shard_ = parallel_->AddShard();
+  }
+  ++nodes_assigned_;
+  return current_shard_;
+}
+
 sim::Time Cluster::NextEventTime() {
   return serial_ ? serial_->PeekNextTime() : parallel_->NextEventTime();
 }
@@ -267,6 +296,29 @@ bool Cluster::RunUntil(std::function<bool()> fn, sim::Duration timeout) {
     if (Now() >= deadline) return false;
     const sim::Time next = NextEventTime();
     if (next == sim::Simulator::kNoEvent) return fn();
+    EngineRunUntil(std::max(Now() + config_.run_until_quantum, next));
+  }
+  return true;
+}
+
+bool Cluster::RunUntil(const StopLatch& latch, sim::Duration timeout) {
+  const sim::Time deadline = Now() + timeout;
+  if (config_.run_until_quantum <= 0) {
+    assert(serial_ != nullptr &&
+           "parallel RunUntil(latch) needs run_until_quantum > 0");
+    while (!latch.Done()) {
+      if (serial_->Now() >= deadline) return false;
+      if (!serial_->Step()) return latch.Done();
+    }
+    return true;
+  }
+  // Same quantized grid as the predicate form: the polling times depend
+  // only on the simulated schedule, so the stop point is engine- and
+  // worker-count-independent.
+  while (!latch.Done()) {
+    if (Now() >= deadline) return false;
+    const sim::Time next = NextEventTime();
+    if (next == sim::Simulator::kNoEvent) return latch.Done();
     EngineRunUntil(std::max(Now() + config_.run_until_quantum, next));
   }
   return true;

@@ -16,6 +16,7 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "server/log_server.h"
+#include "harness/stop_latch.h"
 #include "sim/parallel.h"
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
@@ -83,6 +84,22 @@ struct ClusterConfig {
   /// Parallel clusters reject tracing/profiling: span ids and profiler
   /// streams are interleaving-dependent.
   int shard_workers = 0;
+  /// Shard grouping (parallel engine only): how many nodes share one
+  /// shard. 1 (default) keeps the original node-per-shard layout. Larger
+  /// groups cut the coordinator's per-window work — the barrier scans
+  /// every shard once per lookahead window, so at thousands of clients
+  /// the shard count itself becomes the bottleneck. Nodes are grouped in
+  /// creation order (servers first, then clients). Chaos-free runs are
+  /// byte-identical across group sizes: everything crossing a node
+  /// boundary goes through the Network, whose barrier merge is keyed by
+  /// source node id, not shard — grouping only changes which events
+  /// execute contiguously, never their order.
+  int nodes_per_shard = 1;
+  /// Serial engine only: route eligible coarse-deadline timers through
+  /// the Simulator's hierarchical timer wheel (see sim::Simulator).
+  /// Schedule-invisible either way — this knob exists so identity tests
+  /// and benches can compare the wheel against the heap-only build.
+  bool timer_wheel = true;
   /// RunUntil(predicate) polling grid. 0 (default) checks the predicate
   /// after every event — exact, serial engine only. > 0 checks it every
   /// this much simulated time; the stopping times then depend only on
@@ -136,7 +153,7 @@ class Cluster : public chaos::FaultTargets {
   /// scheduler of the node they belong to.
   sim::Scheduler& server_scheduler(int id) {
     return serial_ ? static_cast<sim::Scheduler&>(*serial_)
-                   : *parallel_->shard(id - 1);
+                   : *parallel_->shard(server_shards_[id - 1]);
   }
   sim::Scheduler& client_scheduler(int index) {
     return serial_ ? static_cast<sim::Scheduler&>(*serial_)
@@ -230,6 +247,15 @@ class Cluster : public chaos::FaultTargets {
   bool RunUntil(std::function<bool()> fn,
                 sim::Duration timeout = 30 * sim::kSecond);
 
+  /// Runs the engine until the latch is done or `timeout` elapses;
+  /// returns whether it completed. Equivalent to RunUntil with a
+  /// `latch.Done()` predicate, but the per-poll cost is a single atomic
+  /// flag load — the right stop condition when "done" is an aggregate
+  /// over thousands of nodes. Requires run_until_quantum > 0 under the
+  /// parallel engine (same rule as the predicate form).
+  bool RunUntil(const StopLatch& latch,
+                sim::Duration timeout = 30 * sim::kSecond);
+
  private:
   struct ClientSlot {
     /// The fully resolved configuration (servers + node_id filled), kept
@@ -248,6 +274,9 @@ class Cluster : public chaos::FaultTargets {
   /// Earliest pending event across the engine (quiescent).
   sim::Time NextEventTime();
   void EngineRunUntil(sim::Time t);
+  /// Places the next node (creation order) on a shard: a fresh shard
+  /// every `nodes_per_shard` assignments, the current one otherwise.
+  int AssignShard();
   /// The scheduler shared infrastructure (networks, tracer) is built
   /// on: the serial engine, or the parallel engine's ambient facade.
   sim::Scheduler* InfraScheduler();
@@ -271,8 +300,21 @@ class Cluster : public chaos::FaultTargets {
   std::vector<ClientSlot> clients_;
   std::unique_ptr<chaos::ChaosController> chaos_;
   /// NodeId -> shard scheduler, for the networks' delivery routing
-  /// (parallel engine only). Mutated only while quiescent.
-  std::map<net::NodeId, sim::Scheduler*> node_schedulers_;
+  /// (parallel engine only). Dense-indexed by node id (ids are small and
+  /// contiguous): the router runs once per delivery, so the lookup must
+  /// be O(1). Mutated only while quiescent.
+  std::vector<sim::Scheduler*> node_schedulers_;
+  void SetNodeScheduler(net::NodeId id, sim::Scheduler* sched) {
+    if (id >= node_schedulers_.size()) {
+      node_schedulers_.resize(id + 1, nullptr);
+    }
+    node_schedulers_[id] = sched;
+  }
+  /// Server id - 1 -> shard index (parallel engine only).
+  std::vector<int> server_shards_;
+  /// Shard-group assignment state (see ClusterConfig::nodes_per_shard).
+  int nodes_assigned_ = 0;
+  int current_shard_ = -1;
   net::NodeId next_client_node_ = 1000;
 };
 

@@ -42,6 +42,7 @@ void Et1Driver::Start() {
       return;
     }
     started_ = true;
+    if (config_.start_latch != nullptr) config_.start_latch->CountDown();
     ScheduleNext();
   });
 }

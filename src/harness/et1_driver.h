@@ -29,6 +29,10 @@ struct Et1DriverConfig {
   /// server overload, closing the loop the servers' Overloaded replies
   /// start. 0 keeps the legacy open-loop arrivals.
   size_t max_log_backlog = 0;
+  /// Counted down once when Init succeeds and the driver starts issuing
+  /// transactions. Lets a scale bench wait for thousands of drivers with
+  /// Cluster::RunUntil(latch) instead of an O(drivers) predicate.
+  StopLatch* start_latch = nullptr;
 };
 
 /// One simulated transaction-processing node: a replicated-log client, a

@@ -1,0 +1,56 @@
+#ifndef DLOG_HARNESS_STOP_LATCH_H_
+#define DLOG_HARNESS_STOP_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dlog::harness {
+
+/// A shard-local stop condition for Cluster::RunUntil at scale. A
+/// predicate closure is re-evaluated by the coordinator at every polling
+/// point; when the predicate itself is O(nodes) ("are all 5000 drivers
+/// initialized?"), the coordinator pays nodes x polls. With a latch,
+/// each node counts down once from wherever it runs (its own shard
+/// thread under the parallel engine — the counter is atomic), and the
+/// coordinator's check is a single flag load.
+///
+/// The latch carries no engine state: whether the count reaches zero —
+/// and at which polling point RunUntil observes it — is a pure function
+/// of the simulated schedule, so latch-stopped runs remain byte-identical
+/// across engines and worker counts on the run_until_quantum grid.
+class StopLatch {
+ public:
+  explicit StopLatch(uint64_t count = 0) : remaining_(count) {}
+
+  StopLatch(const StopLatch&) = delete;
+  StopLatch& operator=(const StopLatch&) = delete;
+
+  /// Raises the count (before the run starts, or from the node that will
+  /// later count the addition down).
+  void Add(uint64_t n = 1) {
+    remaining_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Signals one unit of completion. The final count-down publishes
+  /// Done() with release semantics, so state written by the signalling
+  /// node before CountDown() is visible to whoever observes Done().
+  void CountDown() {
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_.store(true, std::memory_order_release);
+    }
+  }
+
+  bool Done() const { return done_.load(std::memory_order_acquire); }
+
+  uint64_t remaining() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> remaining_;
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace dlog::harness
+
+#endif  // DLOG_HARNESS_STOP_LATCH_H_

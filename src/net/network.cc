@@ -38,24 +38,34 @@ void Network::Sequenced(sim::Callback fn) {
 void Network::Attach(NodeId id, Nic* nic) {
   assert(!IsMulticast(id));
   Sequenced([this, id, nic] {
-    assert(nodes_.find(id) == nodes_.end());
-    nodes_[id] = nic;
+    if (id >= node_table_.size()) node_table_.resize(id + 1, nullptr);
+    assert(node_table_[id] == nullptr);
+    node_table_[id] = nic;
   });
 }
 
 void Network::Detach(NodeId id) {
-  Sequenced([this, id] { nodes_.erase(id); });
+  Sequenced([this, id] {
+    if (id < node_table_.size()) node_table_[id] = nullptr;
+  });
 }
 
 void Network::JoinGroup(NodeId group, NodeId member) {
   assert(IsMulticast(group));
-  Sequenced([this, group, member] { groups_[group].insert(member); });
+  Sequenced([this, group, member] {
+    std::vector<NodeId>& members = groups_[group];
+    auto it = std::lower_bound(members.begin(), members.end(), member);
+    if (it == members.end() || *it != member) members.insert(it, member);
+  });
 }
 
 void Network::LeaveGroup(NodeId group, NodeId member) {
   Sequenced([this, group, member] {
     auto it = groups_.find(group);
-    if (it != groups_.end()) it->second.erase(member);
+    if (it == groups_.end()) return;
+    std::vector<NodeId>& members = it->second;
+    auto pos = std::lower_bound(members.begin(), members.end(), member);
+    if (pos != members.end() && *pos == member) members.erase(pos);
   });
 }
 
@@ -164,8 +174,8 @@ void Network::DeliverTo(NodeId dst, const Packet& packet,
     if (packet_probe_) packet_probe_(timing);
     return;
   }
-  auto it = nodes_.find(dst);
-  if (it == nodes_.end()) {
+  Nic* nic = dst < node_table_.size() ? node_table_[dst] : nullptr;
+  if (nic == nullptr) {
     packets_lost_.Increment();
     if (packet_probe_) packet_probe_(timing);
     return;
@@ -194,7 +204,6 @@ void Network::DeliverTo(NodeId dst, const Packet& packet,
   }
   timing.delivered = copies > 0;
   if (packet_probe_) packet_probe_(timing);
-  Nic* nic = it->second;
   sim::Scheduler* target =
       hooks_.scheduler_of ? hooks_.scheduler_of(dst) : sim_;
   for (int i = 0; i < copies; ++i) {

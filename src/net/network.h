@@ -181,8 +181,14 @@ class Network {
   NetworkConfig config_;
   SequencingHooks hooks_;
   Rng rng_;
-  std::map<NodeId, Nic*> nodes_;
-  std::map<NodeId, std::set<NodeId>> groups_;
+  /// Unicast routing, dense-indexed by NodeId (node ids are small and
+  /// contiguous in practice; nullptr = no NIC attached): O(1) lookup on
+  /// the per-delivery hot path.
+  std::vector<Nic*> node_table_;
+  /// Multicast membership as sorted member vectors: group fan-out walks
+  /// a contiguous array in the same ascending order as the std::set it
+  /// replaces, with no per-send allocation.
+  std::map<NodeId, std::vector<NodeId>> groups_;
   /// Partition state: group index per named node; unnamed nodes share
   /// the implicit group -1. `partition_logical_` tracks the call-time
   /// view (see HasPartition); `partition_active_` the applied one.

@@ -32,73 +32,88 @@ namespace {
 
 // Erases [prefix...] keys from one typed map.
 template <typename Map>
-void ErasePrefix(Map* map, const std::string& prefix) {
+void ErasePrefix(Map* map, std::string_view prefix) {
   for (auto it = map->lower_bound(prefix); it != map->end();) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (std::string_view(it->first).substr(0, prefix.size()) != prefix) {
+      break;
+    }
     it = map->erase(it);
   }
 }
 
 // A name may move between metric kinds on re-registration; drop it from
-// every map first.
+// every map first. Transparent find: no temporary key string.
 template <typename Map>
-void EraseName(Map* map, const std::string& name) {
-  map->erase(name);
+void EraseName(Map* map, std::string_view name) {
+  auto it = map->find(name);
+  if (it != map->end()) map->erase(it);
+}
+
+// Transparent insert-or-assign: materializes the key only when the name
+// is genuinely new.
+template <typename Map, typename V>
+void Assign(Map* map, std::string_view name, V value) {
+  auto it = map->find(name);
+  if (it != map->end()) {
+    it->second = std::move(value);
+  } else {
+    map->emplace(std::string(name), std::move(value));
+  }
 }
 
 }  // namespace
 
-void MetricsRegistry::RegisterCounter(const std::string& name,
+void MetricsRegistry::RegisterCounter(std::string_view name,
                                       const sim::Counter* c) {
   std::lock_guard<std::mutex> lock(mu_);
   EraseName(&gauges_, name);
   EraseName(&tw_gauges_, name);
   EraseName(&histograms_, name);
   EraseName(&callbacks_, name);
-  counters_[name] = c;
+  Assign(&counters_, name, c);
 }
 
-void MetricsRegistry::RegisterGauge(const std::string& name,
+void MetricsRegistry::RegisterGauge(std::string_view name,
                                     const sim::Gauge* g) {
   std::lock_guard<std::mutex> lock(mu_);
   EraseName(&counters_, name);
   EraseName(&tw_gauges_, name);
   EraseName(&histograms_, name);
   EraseName(&callbacks_, name);
-  gauges_[name] = g;
+  Assign(&gauges_, name, g);
 }
 
 void MetricsRegistry::RegisterTimeWeightedGauge(
-    const std::string& name, const sim::TimeWeightedGauge* g) {
+    std::string_view name, const sim::TimeWeightedGauge* g) {
   std::lock_guard<std::mutex> lock(mu_);
   EraseName(&counters_, name);
   EraseName(&gauges_, name);
   EraseName(&histograms_, name);
   EraseName(&callbacks_, name);
-  tw_gauges_[name] = g;
+  Assign(&tw_gauges_, name, g);
 }
 
-void MetricsRegistry::RegisterHistogram(const std::string& name,
+void MetricsRegistry::RegisterHistogram(std::string_view name,
                                         const sim::Histogram* h) {
   std::lock_guard<std::mutex> lock(mu_);
   EraseName(&counters_, name);
   EraseName(&gauges_, name);
   EraseName(&tw_gauges_, name);
   EraseName(&callbacks_, name);
-  histograms_[name] = h;
+  Assign(&histograms_, name, h);
 }
 
-void MetricsRegistry::RegisterCallback(const std::string& name,
+void MetricsRegistry::RegisterCallback(std::string_view name,
                                        std::function<double()> fn) {
   std::lock_guard<std::mutex> lock(mu_);
   EraseName(&counters_, name);
   EraseName(&gauges_, name);
   EraseName(&tw_gauges_, name);
   EraseName(&histograms_, name);
-  callbacks_[name] = std::move(fn);
+  Assign(&callbacks_, name, std::move(fn));
 }
 
-void MetricsRegistry::UnregisterPrefix(const std::string& prefix) {
+void MetricsRegistry::UnregisterPrefix(std::string_view prefix) {
   std::lock_guard<std::mutex> lock(mu_);
   ErasePrefix(&counters_, prefix);
   ErasePrefix(&gauges_, prefix);

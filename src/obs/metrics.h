@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -50,21 +51,23 @@ class MetricsRegistry {
   /// Registration. Names must be unique; re-registering a name replaces
   /// the old entry (a restarted component re-registers its counters).
   /// The registry does not own the metric: the component must outlive it
-  /// or call Unregister* first.
-  void RegisterCounter(const std::string& name, const sim::Counter* c);
-  void RegisterGauge(const std::string& name, const sim::Gauge* g);
-  void RegisterTimeWeightedGauge(const std::string& name,
+  /// or call Unregister* first. Names pass as string_views (the key is
+  /// materialized only on actual insertion; lookups and erasures are
+  /// transparent) so callers can hand over literals or stack-composed
+  /// names without an extra temporary per call.
+  void RegisterCounter(std::string_view name, const sim::Counter* c);
+  void RegisterGauge(std::string_view name, const sim::Gauge* g);
+  void RegisterTimeWeightedGauge(std::string_view name,
                                  const sim::TimeWeightedGauge* g);
-  void RegisterHistogram(const std::string& name, const sim::Histogram* h);
+  void RegisterHistogram(std::string_view name, const sim::Histogram* h);
   /// Registers a pull-style metric: `fn` is invoked at Snapshot time.
   /// For values with no component object to point at — e.g. the
   /// process-wide dlog::BytesCopied() copy counter.
-  void RegisterCallback(const std::string& name,
-                        std::function<double()> fn);
+  void RegisterCallback(std::string_view name, std::function<double()> fn);
 
   /// Drops every metric whose name starts with `prefix` (component
   /// teardown).
-  void UnregisterPrefix(const std::string& prefix);
+  void UnregisterPrefix(std::string_view prefix);
 
   /// Reads every registered metric at simulated time `now` (needed for
   /// time-weighted averages).
@@ -84,11 +87,13 @@ class MetricsRegistry {
   /// restarting in the same window re-register from different shard
   /// threads. Map order keeps enumeration deterministic regardless.
   mutable std::mutex mu_;
-  std::map<std::string, const sim::Counter*> counters_;
-  std::map<std::string, const sim::Gauge*> gauges_;
-  std::map<std::string, const sim::TimeWeightedGauge*> tw_gauges_;
-  std::map<std::string, const sim::Histogram*> histograms_;
-  std::map<std::string, std::function<double()>> callbacks_;
+  // std::less<> enables transparent string_view lookup/erasure.
+  std::map<std::string, const sim::Counter*, std::less<>> counters_;
+  std::map<std::string, const sim::Gauge*, std::less<>> gauges_;
+  std::map<std::string, const sim::TimeWeightedGauge*, std::less<>>
+      tw_gauges_;
+  std::map<std::string, const sim::Histogram*, std::less<>> histograms_;
+  std::map<std::string, std::function<double()>, std::less<>> callbacks_;
 };
 
 }  // namespace dlog::obs

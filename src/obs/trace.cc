@@ -9,41 +9,41 @@ Span* Tracer::Find(SpanId id) {
   return &spans_[id - 1];
 }
 
-SpanContext Tracer::StartTrace(const std::string& name,
-                               const std::string& node) {
+SpanContext Tracer::StartTrace(std::string_view name,
+                               std::string_view node) {
   if (!enabled_) return {};
   Span span;
   span.trace = next_trace_++;
   span.id = next_span_++;
-  span.name = name;
-  span.node = node;
+  span.name = std::string(name);
+  span.node = std::string(node);
   span.start = sim_->Now();
   spans_.push_back(std::move(span));
   return {spans_.back().trace, spans_.back().id};
 }
 
-SpanContext Tracer::StartSpan(const std::string& name,
-                              const std::string& node, SpanContext parent) {
+SpanContext Tracer::StartSpan(std::string_view name,
+                              std::string_view node, SpanContext parent) {
   if (!enabled_ || !parent.valid()) return {};
   Span span;
   span.trace = parent.trace;
   span.id = next_span_++;
   span.parent = parent.span;
-  span.name = name;
-  span.node = node;
+  span.name = std::string(name);
+  span.node = std::string(node);
   span.start = sim_->Now();
   spans_.push_back(std::move(span));
   return {parent.trace, spans_.back().id};
 }
 
-SpanContext Tracer::Instant(const std::string& name, const std::string& node,
+SpanContext Tracer::Instant(std::string_view name, std::string_view node,
                             SpanContext parent) {
   SpanContext ctx = StartSpan(name, node, parent);
   EndSpan(ctx);
   return ctx;
 }
 
-void Tracer::AddArg(SpanContext ctx, const std::string& key,
+void Tracer::AddArg(SpanContext ctx, std::string_view key,
                     uint64_t value) {
   if (!ctx.valid()) return;
   Span* span = Find(ctx.span);

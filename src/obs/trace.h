@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -64,20 +65,25 @@ class Tracer {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  // Names and nodes pass as string_views: a call site handing over a
+  // literal (or a cached per-node name) materializes a std::string only
+  // inside an *enabled* tracer — the disabled hot path allocates
+  // nothing, which matters at every-event call frequency.
+
   /// Opens a new root span, minting a fresh trace id.
-  SpanContext StartTrace(const std::string& name, const std::string& node);
+  SpanContext StartTrace(std::string_view name, std::string_view node);
 
   /// Opens a child span of `parent`. An invalid parent yields an invalid
   /// context (the whole subtree is dropped).
-  SpanContext StartSpan(const std::string& name, const std::string& node,
+  SpanContext StartSpan(std::string_view name, std::string_view node,
                         SpanContext parent);
 
   /// Records a zero-length event under `parent`.
-  SpanContext Instant(const std::string& name, const std::string& node,
+  SpanContext Instant(std::string_view name, std::string_view node,
                       SpanContext parent);
 
   /// Attaches a key/value annotation to an open span.
-  void AddArg(SpanContext ctx, const std::string& key, uint64_t value);
+  void AddArg(SpanContext ctx, std::string_view key, uint64_t value);
 
   /// Closes a span at the current simulated time. Closing an already
   /// closed or invalid span is a no-op (lost-message tolerance: a

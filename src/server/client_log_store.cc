@@ -6,7 +6,11 @@
 namespace dlog::server {
 
 void ClientLogStore::AppendToStream(const LogRecord& record) {
-  index_[{record.lsn, record.epoch}] = stream_.size();
+  // Callers only append keys not yet indexed, and the stream's keys grow
+  // monotonically, so the end() hint makes the insert amortized O(1)
+  // (and degrades to an ordinary insert if a recovery path ever doesn't).
+  index_.emplace_hint(index_.end(), std::make_pair(record.lsn, record.epoch),
+                      stream_.size());
   stream_.push_back(record);
   if (!sequences_.empty()) {
     Interval& tail = sequences_.back();

@@ -192,7 +192,7 @@ bool LogServer::ApplyRecord(ClientState* state, ClientId client,
     return true;
   }
   const StreamEntry entry{client, record};
-  const Bytes encoded = EncodeStreamEntry(entry);
+  Bytes encoded = EncodeStreamEntry(entry);
   if (nvram_buffer_->used_bytes() + encoded.size() >
       nvram_buffer_->capacity()) {
     writes_shed_.Increment();
@@ -204,7 +204,7 @@ bool LogServer::ApplyRecord(ClientState* state, ClientId client,
     // end-to-end acknowledgment discipline recovers.
     return false;
   }
-  Status nv = nvram_buffer_->Append(encoded);
+  Status nv = nvram_buffer_->Append(std::move(encoded));
   assert(nv.ok());
   (void)nv;
   records_written_.Increment();
@@ -459,7 +459,8 @@ void LogServer::WithReadLatency(ClientId client, Lsn lsn,
       if (loc != it->second.disk_location.end()) {
         const uint64_t generation = generation_;
         disk_->ReadTrack(loc->second,
-                         [this, generation, fn](Result<Bytes> r) {
+                         [this, generation, fn = std::move(fn)](
+                             const Result<Bytes>& r) {
                            (void)r;
                            if (generation != generation_ || !up_) return;
                            fn();
@@ -603,17 +604,16 @@ void LogServer::MaybeFlush() {
   if (nvram_buffer_->empty()) force_partial_flush_ = false;
   if (!up_ || flush_in_progress_ || nvram_buffer_->empty()) return;
 
-  // Pack entries into one track's payload.
+  // Pack entries into one track's payload. The packing decision needs
+  // only encoded sizes — MaybeFlush runs after every record batch, and
+  // most calls return right here, so the prefix must not be decoded
+  // until the flush is known to proceed.
   const size_t capacity = config_.disk.track_bytes - kTrackOverhead;
-  std::vector<StreamEntry> entries;
   size_t bytes = 0;
   size_t count = 0;
   for (const Bytes& encoded : nvram_buffer_->entries()) {
     if (bytes + encoded.size() > capacity) break;
-    Result<StreamEntry> entry = DecodeStreamEntry(encoded);
-    assert(entry.ok());
     bytes += encoded.size();
-    entries.push_back(*std::move(entry));
     ++count;
   }
   if (count == 0) return;
@@ -628,6 +628,21 @@ void LogServer::MaybeFlush() {
   const bool timer_due = flush_timer_ == 0;
   if (!track_full && !timer_due && !force_partial_flush_) return;
 
+  // The buffered bytes ARE the track's per-entry format: collect
+  // pointers for a raw concatenation and decode only the fixed header
+  // fields the flush bookkeeping needs — no payload is materialized.
+  std::vector<const Bytes*> packed;
+  std::vector<StreamEntryHeader> entries;
+  packed.reserve(count);
+  entries.reserve(count);
+  for (const Bytes& encoded : nvram_buffer_->entries()) {
+    if (packed.size() == count) break;
+    Result<StreamEntryHeader> header = DecodeStreamEntryHeader(encoded);
+    assert(header.ok());
+    packed.push_back(&encoded);
+    entries.push_back(*header);
+  }
+
   flush_in_progress_ = true;
   const uint64_t track = next_track_++;
   const uint64_t generation = generation_;
@@ -637,8 +652,8 @@ void LogServer::MaybeFlush() {
   std::vector<obs::SpanContext> track_spans;
   if (tracer_ != nullptr) {
     std::map<obs::TraceId, bool> seen;
-    for (const StreamEntry& e : entries) {
-      auto it = record_ctx_.find({e.client, e.record.lsn, e.record.epoch});
+    for (const StreamEntryHeader& e : entries) {
+      auto it = record_ctx_.find({e.client, e.lsn, e.epoch});
       if (it == record_ctx_.end()) continue;
       const obs::SpanContext ctx = it->second;
       record_ctx_.erase(it);
@@ -650,7 +665,7 @@ void LogServer::MaybeFlush() {
     }
   }
 
-  Bytes track_bytes = EncodeTrack(entries);
+  Bytes track_bytes = EncodeTrackFromEncoded(packed);
   cpu_->Execute(config_.instr_per_track_write, [this, generation, track,
                                                 track_bytes =
                                                     std::move(track_bytes),
@@ -677,14 +692,26 @@ void LogServer::MaybeFlush() {
           NoteNvramLevel();
           // Record disk locations and extend the append-forest indexes.
           std::map<ClientId, std::pair<Lsn, Lsn>> ranges;
-          for (const StreamEntry& e : entries) {
-            ClientState& state = StateOf(e.client);
-            state.disk_location[{e.record.lsn, e.record.epoch}] = track;
+          // Entries arrive in per-batch runs of one client; reuse the
+          // looked-up state across a run (node handles are stable).
+          ClientState* run_state = nullptr;
+          ClientId run_client = 0;
+          for (const StreamEntryHeader& e : entries) {
+            if (run_state == nullptr || e.client != run_client) {
+              run_state = &StateOf(e.client);
+              run_client = e.client;
+            }
+            ClientState& state = *run_state;
+            // LSNs within a run ascend, so the insert lands at the map's
+            // tail: the end() hint makes the append amortized O(1).
+            state.disk_location.insert_or_assign(
+                state.disk_location.end(), std::make_pair(e.lsn, e.epoch),
+                track);
             auto [it, inserted] = ranges.try_emplace(
-                e.client, std::make_pair(e.record.lsn, e.record.lsn));
+                e.client, std::make_pair(e.lsn, e.lsn));
             if (!inserted) {
-              it->second.first = std::min(it->second.first, e.record.lsn);
-              it->second.second = std::max(it->second.second, e.record.lsn);
+              it->second.first = std::min(it->second.first, e.lsn);
+              it->second.second = std::max(it->second.second, e.lsn);
             }
           }
           if (config_.ack_after_disk && nvram_buffer_->empty()) {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -260,7 +261,9 @@ class LogServer {
   /// FlushNow() sets this; cleared once the buffer drains.
   bool force_partial_flush_ = false;
   sim::EventId flush_timer_ = 0;
-  std::map<ClientId, ClientState> clients_;  // volatile
+  // Volatile. Hash map: looked up per record batch on the hot path and
+  // never iterated (deterministic order is not needed here).
+  std::unordered_map<ClientId, ClientState> clients_;
 
   obs::Tracer* tracer_ = nullptr;
   std::string trace_node_;

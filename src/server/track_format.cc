@@ -30,6 +30,7 @@ Result<StreamEntry> GetEntry(Decoder* dec) {
 
 Bytes EncodeStreamEntry(const StreamEntry& entry) {
   Bytes out;
+  out.reserve(StreamEntrySize(entry));
   Encoder enc(&out);
   PutEntry(&enc, entry);
   return out;
@@ -42,29 +43,61 @@ Result<StreamEntry> DecodeStreamEntry(const Bytes& bytes) {
   return entry;
 }
 
+Result<StreamEntryHeader> DecodeStreamEntryHeader(const Bytes& bytes) {
+  Decoder dec(bytes);
+  StreamEntryHeader header;
+  DLOG_ASSIGN_OR_RETURN(header.client, dec.GetU32());
+  DLOG_ASSIGN_OR_RETURN(header.lsn, dec.GetU64());
+  DLOG_ASSIGN_OR_RETURN(header.epoch, dec.GetU64());
+  return header;
+}
+
 size_t StreamEntrySize(const StreamEntry& entry) {
-  // client(4) + lsn(8) + epoch(8) + present(1) + len(4) + data
-  return 4 + 8 + 8 + 1 + 4 + entry.record.data.size();
+  return kStreamEntryFixedBytes + entry.record.data.size();
 }
 
 Bytes EncodeTrack(const std::vector<StreamEntry>& entries) {
+  size_t body_size = 4;
+  for (const StreamEntry& e : entries) body_size += StreamEntrySize(e);
   Bytes body;
+  body.reserve(body_size);
   Encoder body_enc(&body);
   body_enc.PutU32(static_cast<uint32_t>(entries.size()));
   for (const StreamEntry& e : entries) PutEntry(&body_enc, e);
 
   Bytes out;
+  out.reserve(4 + body.size());
   Encoder enc(&out);
   enc.PutU32(crc32c::Value(body));
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
 
+Bytes EncodeTrackFromEncoded(const std::vector<const Bytes*>& entries) {
+  size_t total = 4 + 4;  // checksum + count
+  for (const Bytes* e : entries) total += e->size();
+  Bytes out;
+  out.reserve(total);
+  Encoder enc(&out);
+  enc.PutU32(0);  // checksum placeholder, patched once the body is built
+  enc.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const Bytes* e : entries) {
+    // The same stable-storage copy EncodeTrack's PutEntry would count.
+    AddBytesCopied(e->size() - kStreamEntryFixedBytes);
+    out.insert(out.end(), e->begin(), e->end());
+  }
+  const uint32_t crc = crc32c::Value(out.data() + 4, out.size() - 4);
+  out[0] = static_cast<uint8_t>(crc);
+  out[1] = static_cast<uint8_t>(crc >> 8);
+  out[2] = static_cast<uint8_t>(crc >> 16);
+  out[3] = static_cast<uint8_t>(crc >> 24);
+  return out;
+}
+
 Result<std::vector<StreamEntry>> DecodeTrack(const Bytes& track) {
   Decoder dec(track);
   DLOG_ASSIGN_OR_RETURN(uint32_t crc, dec.GetU32());
-  const Bytes body(track.begin() + 4, track.end());
-  if (crc32c::Value(body) != crc) {
+  if (crc32c::Value(track.data() + 4, track.size() - 4) != crc) {
     return Status::Corruption("track checksum mismatch");
   }
   DLOG_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());

@@ -28,6 +28,20 @@ struct StreamEntry {
 Bytes EncodeStreamEntry(const StreamEntry& entry);
 Result<StreamEntry> DecodeStreamEntry(const Bytes& bytes);
 
+/// The fixed fields of an encoded stream entry, decodable without
+/// materializing the record payload — the flush path's bookkeeping
+/// (disk locations, forest ranges) needs only these.
+struct StreamEntryHeader {
+  ClientId client = 0;
+  Lsn lsn = 0;
+  Epoch epoch = 0;
+};
+Result<StreamEntryHeader> DecodeStreamEntryHeader(const Bytes& bytes);
+
+/// Fixed (non-payload) bytes of an encoded stream entry:
+/// client(4) + lsn(8) + epoch(8) + present(1) + data length(4).
+constexpr size_t kStreamEntryFixedBytes = 25;
+
 /// Encoded size of an entry, used when packing a track.
 size_t StreamEntrySize(const StreamEntry& entry);
 
@@ -36,6 +50,13 @@ size_t StreamEntrySize(const StreamEntry& entry);
 /// Corruption instead of bad data.
 Bytes EncodeTrack(const std::vector<StreamEntry>& entries);
 Result<std::vector<StreamEntry>> DecodeTrack(const Bytes& track);
+
+/// Builds a track directly from already-encoded entries. The NVRAM
+/// group-buffer format is exactly the track's per-entry format, so the
+/// flush path concatenates the buffered bytes instead of decoding and
+/// re-encoding every record. Byte-identical to EncodeTrack() over the
+/// decoded equivalents.
+Bytes EncodeTrackFromEncoded(const std::vector<const Bytes*>& entries);
 
 /// Fixed per-track overhead bytes (CRC + count).
 constexpr size_t kTrackOverhead = 8;

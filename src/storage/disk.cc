@@ -71,7 +71,8 @@ void SimDisk::WriteTrack(uint64_t track, Bytes data,
   }
 
   const uint64_t generation = crash_generation_;
-  sim_->At(free_at_, [this, track, data = std::move(data), done, submitted,
+  sim_->At(free_at_, [this, track, data = std::move(data),
+                      done = std::move(done), submitted,
                       generation]() mutable {
     if (generation != crash_generation_) return;  // lost in a crash
     tracks_[track] = std::move(data);
@@ -103,7 +104,7 @@ void SimDisk::ReadTrack(uint64_t track,
   }
 
   const uint64_t generation = crash_generation_;
-  sim_->At(free_at_, [this, track, done, generation]() {
+  sim_->At(free_at_, [this, track, done = std::move(done), generation]() {
     if (generation != crash_generation_) return;
     auto it = tracks_.find(track);
     if (it == tracks_.end()) {

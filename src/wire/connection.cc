@@ -294,7 +294,7 @@ void Endpoint::SendFrame(net::NodeId dst, uint8_t frame_type,
   packets_sent_.Increment();
   // Charge the transmission path CPU cost, then hand to a network.
   cpu_->Execute(config_.instructions_per_packet,
-                [this, dst, frame = std::move(frame), trace, span]() {
+                [this, dst, frame = std::move(frame), trace, span]() mutable {
                   if (networks_.empty()) return;
                   auto& [network, nic] = networks_[next_network_];
                   next_network_ = (next_network_ + 1) % networks_.size();
@@ -302,7 +302,7 @@ void Endpoint::SendFrame(net::NodeId dst, uint8_t frame_type,
                   net::Packet packet;
                   packet.src = id_;
                   packet.dst = dst;
-                  packet.payload = frame;
+                  packet.payload = std::move(frame);
                   packet.trace = trace;
                   packet.span = span;
                   network->Send(packet);

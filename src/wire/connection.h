@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
@@ -274,7 +275,10 @@ class Endpoint {
   uint64_t conn_counter_ = 0;
   size_t next_network_ = 0;
   std::vector<std::pair<net::Network*, net::Nic*>> networks_;
-  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  /// Hash map, keyed by connection id: looked up once per received
+  /// packet, and only ever iterated by Crash() (whose per-connection
+  /// work is order-independent).
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
   AcceptHandler accept_handler_;
   DatagramHandler datagram_handler_;
   sim::Counter packets_sent_;

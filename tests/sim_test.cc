@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/cpu.h"
@@ -156,6 +157,124 @@ TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
   sim.Run();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(sim.Now(), 100u);
+}
+
+// --- Timer-wheel tier ---
+//
+// Timers at least 2^20 ticks out are staged in wheel buckets instead of
+// the heap; the wheel is schedule-invisible, so everything observable
+// (firing order, firing times, cancellation semantics) must match a
+// heap-only engine exactly.
+
+constexpr Duration kWheelHorizon = Duration{1} << 20;
+
+TEST(TimerWheelTest, FarTimersAreStagedNearTimersAreNot) {
+  Simulator sim;
+  ASSERT_TRUE(sim.timer_wheel_enabled());
+  sim.At(100, []() {});
+  EXPECT_EQ(sim.wheel_pending(), 0u);  // below the horizon: straight to heap
+  sim.At(kWheelHorizon + 5, []() {});
+  EXPECT_EQ(sim.wheel_pending(), 1u);
+}
+
+TEST(TimerWheelTest, WheeledTimersFireInOrderAtExactTimes) {
+  Simulator sim;
+  std::vector<std::pair<int, Time>> fired;
+  sim.At(3 * kWheelHorizon + 7, [&]() { fired.push_back({3, sim.Now()}); });
+  sim.At(kWheelHorizon + 5, [&]() { fired.push_back({1, sim.Now()}); });
+  sim.At(2 * kWheelHorizon, [&]() { fired.push_back({2, sim.Now()}); });
+  sim.At(10, [&]() { fired.push_back({0, sim.Now()}); });
+  sim.Run();
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_EQ(fired[0], (std::pair<int, Time>{0, 10}));
+  EXPECT_EQ(fired[1], (std::pair<int, Time>{1, kWheelHorizon + 5}));
+  EXPECT_EQ(fired[2], (std::pair<int, Time>{2, 2 * kWheelHorizon}));
+  EXPECT_EQ(fired[3], (std::pair<int, Time>{3, 3 * kWheelHorizon + 7}));
+  EXPECT_EQ(sim.wheel_pending(), 0u);
+}
+
+TEST(TimerWheelTest, EqualFarTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const Time t = kWheelHorizon + 123;
+  sim.At(t, [&]() { order.push_back(1); });
+  sim.At(t, [&]() { order.push_back(2); });
+  sim.At(t, [&]() { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheelTest, CancelledWheeledTimerNeverFires) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.At(kWheelHorizon + 50, [&]() { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double-cancel reports failure
+  sim.At(2 * kWheelHorizon, []() {});  // run time past the cancelled slot
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerWheelTest, DisableFlushesWheelAndPreservesSchedule) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(kWheelHorizon + 20, [&]() { order.push_back(2); });
+  sim.At(kWheelHorizon + 10, [&]() { order.push_back(1); });
+  ASSERT_EQ(sim.wheel_pending(), 2u);
+  sim.EnableTimerWheel(false);
+  EXPECT_EQ(sim.wheel_pending(), 0u);  // flushed into the heap
+  EXPECT_FALSE(sim.timer_wheel_enabled());
+  sim.At(kWheelHorizon + 15, [&]() { order.push_back(15); });  // heap now
+  EXPECT_EQ(sim.wheel_pending(), 0u);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 15, 2}));
+}
+
+TEST(TimerWheelTest, ReenablingResumesStaging) {
+  Simulator sim;
+  sim.EnableTimerWheel(false);
+  sim.At(kWheelHorizon + 1, []() {});
+  EXPECT_EQ(sim.wheel_pending(), 0u);
+  sim.EnableTimerWheel(true);
+  sim.At(kWheelHorizon + 2, []() {});
+  EXPECT_EQ(sim.wheel_pending(), 1u);
+  sim.Run();
+}
+
+TEST(TimerWheelTest, IdenticalExecutionToHeapOnlyOnMixedWorkload) {
+  // A self-rescheduling mix of near and far (later cancelled) timers;
+  // the executed (time, label) sequence must be identical with the
+  // wheel on and off.
+  auto run = [](bool wheel) {
+    Simulator sim;
+    sim.EnableTimerWheel(wheel);
+    std::vector<std::pair<Time, int>> log;
+    struct Chain {
+      Simulator* sim;
+      std::vector<std::pair<Time, int>>* log;
+      int id;
+      int remaining;
+      EventId decoy = 0;
+      void Fire() {
+        log->push_back({sim->Now(), id});
+        if (decoy != 0) sim->Cancel(decoy);
+        if (remaining-- == 0) return;
+        decoy = sim->After(kWheelHorizon + 3 * id, []() {});
+        sim->After(17 + id, [this]() { Fire(); });
+      }
+    };
+    std::vector<Chain> chains;
+    chains.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      chains.push_back(Chain{&sim, &log, i, 40});
+    }
+    for (auto& c : chains) {
+      sim.At(static_cast<Time>(c.id), [&c]() { c.Fire(); });
+    }
+    sim.Run();
+    return log;
+  };
+  EXPECT_EQ(run(true), run(false));
 }
 
 TEST(TimeTest, Conversions) {
