@@ -43,6 +43,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -51,6 +52,7 @@
 #include "harness/cluster.h"
 #include "harness/trial_runner.h"
 #include "obs/bench_report.h"
+#include "obs/flight.h"
 
 namespace {
 
@@ -235,6 +237,74 @@ double Tolerance(double closed_form, int probes) {
 
 }  // namespace
 
+/// Flight-recorder post-mortem artifact: a small serial chaos run with
+/// the per-node span rings on. A writer streams forced records while a
+/// scripted plan crashes a server, fails another's disk, and finally
+/// crashes the writer itself; each fault freezes the victim's recent
+/// spans. The dump of everything — E10_flight.json — is the CI artifact
+/// showing what each node was doing when it died. Fixed seeds, serial
+/// engine regardless of the sweep's shard_workers: byte-identical every
+/// run.
+bool WriteFlightArtifact() {
+  harness::ClusterConfig cluster_cfg;
+  cluster_cfg.num_servers = 3;
+  cluster_cfg.flight_recorder = true;
+  harness::Cluster cluster(cluster_cfg);
+
+  harness::ClientHandle writer = cluster.AddClient(ProbeClientConfig(1, 2));
+  bool init_done = false;
+  writer->Init([&](Status s) { init_done = s.ok(); });
+  if (!cluster.RunUntil([&]() { return init_done; }, kProbeTimeout)) {
+    return false;
+  }
+
+  chaos::FaultPlan plan;
+  plan.CrashServer(2 * sim::kSecond, 2)
+      .FailDisk(3 * sim::kSecond, 3)
+      .CrashClient(4 * sim::kSecond, 0);
+  cluster.chaos().Execute(plan);
+
+  // Forced writes until the plan kills the writer; failures past that
+  // point are the powered-off machine answering, which is fine — the
+  // rings already hold its final spans. Each probe roots its own trace
+  // (the client only emits spans under a valid parent), which is what
+  // feeds the rings the crash dumps snapshot.
+  obs::Tracer& tracer = cluster.tracer();
+  for (int i = 0; i < 400 && cluster.Now() < 5 * sim::kSecond; ++i) {
+    const obs::SpanContext root = tracer.StartTrace("probe", "client-1");
+    bool forced = false;
+    {
+      obs::Tracer::Scope scope(&tracer, root);
+      Result<Lsn> lsn = writer->WriteLog(ToBytes("f" + std::to_string(i)));
+      if (lsn.ok()) {
+        writer->ForceLog(*lsn, [&](Status) { forced = true; });
+      } else {
+        forced = true;
+      }
+    }
+    if (!forced) {
+      cluster.RunUntil([&]() { return forced; }, 500 * sim::kMillisecond);
+    }
+    tracer.EndSpan(root);
+    cluster.RunFor(10 * sim::kMillisecond);
+  }
+  cluster.RunFor(1 * sim::kSecond);
+
+  const obs::FlightRecorder* recorder = cluster.flight_recorder();
+  size_t spans = 0;
+  for (const obs::FlightRecorder::DumpRecord& d : recorder->dumps()) {
+    spans += d.spans.size();
+  }
+  std::ofstream out("E10_flight.json", std::ios::binary);
+  out << obs::FlightDumpsJson(*recorder);
+  if (!out) return false;
+  std::printf("wrote E10_flight.json (%zu dumps, %zu spans)\n",
+              recorder->dumps().size(), spans);
+  // Three crash-class faults -> three dumps, and the crashed server /
+  // client rings must not both be empty under a forced-write load.
+  return recorder->dumps().size() == 3 && spans > 0;
+}
+
 int main(int argc, char** argv) {
   const int probes = argc > 1 ? std::atoi(argv[1]) : 4000;
   const int threads = argc > 2 ? std::atoi(argv[2]) : 1;
@@ -307,6 +377,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nwrote BENCH_E10.json (%zu rows)\n", report.rows());
+  if (!WriteFlightArtifact()) {
+    std::printf("E10 FAILED: flight-recorder artifact missing dumps\n");
+    return 1;
+  }
   if (!all_ok) {
     std::printf("E10 FAILED: measured availability outside the closed-"
                 "form band\n");

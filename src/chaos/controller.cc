@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/flight.h"
+
 namespace dlog::chaos {
 
 double MarkovFaultConfig::SteadyStateDownProbability() const {
@@ -40,6 +42,25 @@ void ChaosController::Inject(const FaultEvent& event) {
   if (!Apply(event)) return;
   faults_injected_.Increment();
   EmitSpan(event);
+  MaybeDumpFlight(event);
+}
+
+void ChaosController::MaybeDumpFlight(const FaultEvent& event) {
+  if (flight_ == nullptr) return;
+  switch (event.type) {
+    case FaultType::kServerCrash:
+    case FaultType::kDiskFail:
+    case FaultType::kNvramLoss:
+      flight_->Dump("server-" + std::to_string(event.target), sim_->Now(),
+                    "chaos." + std::string(FaultTypeName(event.type)));
+      return;
+    case FaultType::kClientCrash:
+      flight_->Dump(targets_->ClientNodeName(event.target), sim_->Now(),
+                    "chaos." + std::string(FaultTypeName(event.type)));
+      return;
+    default:
+      return;
+  }
 }
 
 bool ChaosController::Apply(const FaultEvent& event) {

@@ -62,6 +62,12 @@ class ChaosController {
 
   /// Attaches the shared causal tracer (may be null: spans dropped).
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Attaches the flight recorder (may be null): every successfully
+  /// applied crash-class fault (server/client crash, disk fail, NVRAM
+  /// loss) dumps the victim's ring at the instant of the fault.
+  void SetFlightRecorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
   /// Registers the per-fault-type counters under "chaos/...".
   void RegisterMetrics(obs::MetricsRegistry* registry) const;
 
@@ -97,6 +103,8 @@ class ChaosController {
   /// no-op (already in the requested state / no such target).
   bool Apply(const FaultEvent& event);
   void EmitSpan(const FaultEvent& event);
+  /// Flight-recorder dump for crash-class faults (no-op otherwise).
+  void MaybeDumpFlight(const FaultEvent& event);
   /// Schedules the next up->down or down->up transition of `server`.
   void ScheduleTransition(int server, bool crash_next);
   sim::Scheduler* SchedulerFor(const FaultEvent& event) {
@@ -107,6 +115,7 @@ class ChaosController {
   FaultTargets* targets_;
   SchedulerRouter router_;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 
   MarkovFaultConfig markov_;
   bool markov_running_ = false;

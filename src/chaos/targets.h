@@ -1,6 +1,8 @@
 #ifndef DLOG_CHAOS_TARGETS_H_
 #define DLOG_CHAOS_TARGETS_H_
 
+#include <string>
+
 #include "net/network.h"
 
 namespace dlog::chaos {
@@ -29,6 +31,12 @@ class FaultTargets {
 
   virtual int num_clients() const = 0;
   virtual bool ClientUp(int client) const = 0;
+  /// The client's trace/metric node name ("client-<client_id>"); flight-
+  /// recorder crash dumps are keyed by it. The default assumes client_id
+  /// equals the index; the harness overrides with the configured id.
+  virtual std::string ClientNodeName(int client) const {
+    return "client-" + std::to_string(client);
+  }
   virtual void CrashClient(int client) = 0;
   /// Rebuilds the crashed client with its original identity; the caller
   /// (or the workload) runs Init() to re-enter the log.

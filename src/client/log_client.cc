@@ -122,6 +122,8 @@ void LogClient::RegisterMetrics(obs::MetricsRegistry* registry) const {
       "client-" + std::to_string(config_.client_id) + "/log/";
   registry->RegisterHistogram(prefix + "force_latency_ms",
                               &force_latency_ms_);
+  registry->RegisterStreamingHistogram(prefix + "force_latency_us",
+                                       &force_latency_us_);
   registry->RegisterCounter(prefix + "records_sent", &records_sent_);
   registry->RegisterCounter(prefix + "batches_sent", &batches_sent_);
   registry->RegisterCounter(prefix + "forces_completed",
@@ -133,6 +135,11 @@ void LogClient::RegisterMetrics(obs::MetricsRegistry* registry) const {
   registry->RegisterCounter(prefix + "flow/backoffs", &backoffs_);
   registry->RegisterCounter(prefix + "flow/retries_suppressed",
                             &retries_suppressed_);
+  // The starvation rule's input: unacknowledged records at the window
+  // edge. Reads 0 while crashed — a dead node is down, not starving.
+  registry->RegisterCallback(prefix + "pending_records", [this]() {
+    return IsUp() ? static_cast<double>(pending_.size()) : 0.0;
+  });
   registry->RegisterCallback(prefix + "flow/retry_budget_tokens",
                              [this]() { return retry_policy_.tokens(); });
   // The smallest adaptive window across currently-established links: the
@@ -734,6 +741,7 @@ void LogClient::CheckForceCompletion() {
     if (it != pending_.end() && it->first <= w.upto) break;
     force_latency_ms_.Add(sim::DurationToSeconds(sim_->Now() - w.started) *
                           1e3);
+    force_latency_us_.Record((sim_->Now() - w.started) / sim::kMicrosecond);
     forces_completed_.Increment();
     if (tracer_ != nullptr) tracer_->EndSpan(w.span);
     if (w.span.valid() && --force_ctx_valid_spans_ == 0) {

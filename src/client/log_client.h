@@ -179,6 +179,11 @@ class LogClient {
   // --- Statistics ---
   sim::Cpu& cpu() { return *cpu_; }
   sim::Histogram& force_latency_ms() { return force_latency_ms_; }
+  /// Streaming (bucketed, microseconds) twin of force_latency_ms: what
+  /// windowed telemetry diffs for per-window quantiles.
+  const sim::StreamingHistogram& force_latency_us() const {
+    return force_latency_us_;
+  }
   sim::Counter& records_sent() { return records_sent_; }
   sim::Counter& batches_sent() { return batches_sent_; }
   sim::Counter& forces_completed() { return forces_completed_; }
@@ -328,6 +333,7 @@ class LogClient {
   std::string trace_node_;
 
   sim::Histogram force_latency_ms_;
+  sim::StreamingHistogram force_latency_us_;
   sim::Counter records_sent_;
   sim::Counter batches_sent_;
   sim::Counter forces_completed_;

@@ -51,10 +51,21 @@ Status ClusterConfig::Validate() const {
           "the parallel engine does not support tracing/profiling "
           "(span ids and probe streams are interleaving-dependent)");
     }
+    if (flight_recorder) {
+      return Status::InvalidArgument(
+          "the flight recorder is serial-engine only (span routing is "
+          "interleaving-dependent)");
+    }
     if (network.propagation_delay == 0) {
       return Status::InvalidArgument(
           "the parallel engine needs propagation_delay > 0 as lookahead");
     }
+  }
+  DLOG_RETURN_IF_ERROR(telemetry.Validate());
+  DLOG_RETURN_IF_ERROR(health.Validate());
+  if (health.enabled && !telemetry.enabled) {
+    return Status::InvalidArgument(
+        "health monitoring reads telemetry windows: set telemetry.enabled");
   }
   DLOG_RETURN_IF_ERROR(network.Validate());
   // The per-server template is validated with its node_id already
@@ -185,6 +196,32 @@ Cluster::Cluster(const ClusterConfig& config)
   metrics_.RegisterCallback("process/bytes_copied", [bytes_copied_base]() {
     return static_cast<double>(dlog::BytesCopied() - bytes_copied_base);
   });
+  if (config.flight_recorder) {
+    obs::FlightRecorderConfig flight_cfg;
+    flight_cfg.ring_spans = config.flight_ring_spans;
+    flight_ = std::make_unique<obs::FlightRecorder>(flight_cfg);
+    // Ring mode: with tracing off the tracer still routes every
+    // completed span into the recorder's bounded rings; with tracing on
+    // it feeds both the full span log and the rings.
+    tracer_.SetFlightRecorder(flight_.get());
+    chaos_->SetFlightRecorder(flight_.get());
+  }
+  if (config.telemetry.enabled) {
+    collector_ =
+        std::make_unique<obs::TimeSeriesCollector>(config.telemetry,
+                                                   &metrics_);
+    if (config.profiling) collector_->AttachProfiler(&profiler_);
+    next_sample_ = config.telemetry.interval;
+    if (config.health.enabled) {
+      health_ = std::make_unique<obs::HealthMonitor>(config.health,
+                                                     collector_.get());
+      health_->SetTracer(&tracer_);
+      for (int i = 1; i <= config.num_servers; ++i) {
+        health_->AddServerNode("server-" + std::to_string(i));
+      }
+      health_->RegisterMetrics(&metrics_);
+    }
+  }
 }
 
 std::vector<net::NodeId> Cluster::server_ids() const {
@@ -232,6 +269,9 @@ ClientHandle Cluster::AddClient(client::LogClientConfig config) {
                               : parallel_->shard(slot.shard);
   slot.node = BuildClient(config, sched);
   clients_.push_back(std::move(slot));
+  if (health_ != nullptr) {
+    health_->AddClientNode("client-" + std::to_string(config.client_id));
+  }
   return ClientHandle(this, static_cast<int>(clients_.size()) - 1);
 }
 
@@ -271,8 +311,57 @@ sim::Time Cluster::NextEventTime() {
   return serial_ ? serial_->PeekNextTime() : parallel_->NextEventTime();
 }
 
-void Cluster::EngineRunUntil(sim::Time t) {
+void Cluster::RawRunUntil(sim::Time t) {
   serial_ ? serial_->RunUntil(t) : parallel_->RunUntil(t);
+}
+
+void Cluster::SampleWindow() {
+  collector_->Sample(next_sample_);
+  if (health_ != nullptr) health_->Evaluate(next_sample_);
+  next_sample_ += config_.telemetry.interval;
+}
+
+void Cluster::EngineRunUntil(sim::Time t) {
+  if (collector_ != nullptr) {
+    // Stop at every window edge on the way: RunUntil(edge) runs all
+    // events <= edge and leaves the engine quiescent exactly there, so
+    // the sampled values are a pure function of the simulated schedule
+    // — identical on either engine at any worker count.
+    while (next_sample_ <= t) {
+      RawRunUntil(next_sample_);
+      SampleWindow();
+    }
+  }
+  RawRunUntil(t);
+}
+
+void Cluster::SampleWindowsBeforeStep() {
+  if (collector_ == nullptr) return;
+  // Keep the per-event Step() loops window-consistent with RunUntil: a
+  // window ending at W closes after every event at time <= W has run,
+  // so sample only once the next pending event is strictly past W.
+  const sim::Time next = serial_->PeekNextTime();
+  if (next == sim::Simulator::kNoEvent) return;
+  while (next_sample_ < next) {
+    RawRunUntil(next_sample_);
+    SampleWindow();
+  }
+}
+
+void Cluster::RunFor(sim::Duration d) { EngineRunUntil(Now() + d); }
+
+void Cluster::Run() {
+  if (collector_ == nullptr) {
+    serial_ ? serial_->Run() : parallel_->Run();
+    return;
+  }
+  // Run to exhaustion, window by window. Sampling stops with the last
+  // event: trailing empty windows carry nothing.
+  for (;;) {
+    const sim::Time next = NextEventTime();
+    if (next == sim::Simulator::kNoEvent) return;
+    EngineRunUntil(std::max(next, next_sample_));
+  }
 }
 
 bool Cluster::RunUntil(std::function<bool()> fn, sim::Duration timeout) {
@@ -282,6 +371,7 @@ bool Cluster::RunUntil(std::function<bool()> fn, sim::Duration timeout) {
            "parallel RunUntil(predicate) needs run_until_quantum > 0");
     while (!fn()) {
       if (serial_->Now() >= deadline) return false;
+      SampleWindowsBeforeStep();
       if (!serial_->Step()) {
         // Queue drained: the predicate can no longer change.
         return fn();
@@ -308,6 +398,7 @@ bool Cluster::RunUntil(const StopLatch& latch, sim::Duration timeout) {
            "parallel RunUntil(latch) needs run_until_quantum > 0");
     while (!latch.Done()) {
       if (serial_->Now() >= deadline) return false;
+      SampleWindowsBeforeStep();
       if (!serial_->Step()) return latch.Done();
     }
     return true;

@@ -12,8 +12,11 @@
 #include "client/log_client.h"
 #include "common/status.h"
 #include "net/network.h"
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "server/log_server.h"
 #include "harness/stop_latch.h"
@@ -106,6 +109,23 @@ struct ClusterConfig {
   /// the simulated schedule, so serial and parallel runs stop
   /// identically. Engine-comparing benches set it in both modes.
   sim::Duration run_until_quantum = 0;
+  /// Live windowed telemetry (obs::TimeSeriesCollector). When enabled
+  /// the cluster samples every registered metric on the telemetry
+  /// interval grid, at quiescent points, so the series are a pure
+  /// function of the simulated schedule — byte-identical on the serial
+  /// engine and on the parallel engine at any worker count.
+  obs::TimeSeriesConfig telemetry;
+  /// Online health rules evaluated over the telemetry windows (requires
+  /// `telemetry.enabled`).
+  obs::HealthConfig health;
+  /// Crash flight recorder: the tracer routes every completed span into
+  /// bounded per-node rings (even with `tracing` off — ring mode keeps
+  /// no unbounded state), and chaos crash faults dump the victim's ring
+  /// for post-mortem. Serial engine only: span routing is
+  /// interleaving-dependent under the parallel engine.
+  bool flight_recorder = false;
+  /// Spans retained per node ring when `flight_recorder` is set.
+  size_t flight_ring_spans = 256;
 
   /// OK iff the deployment is constructible (at least one server and
   /// network, valid server/network templates, consistent engine
@@ -138,14 +158,15 @@ class Cluster : public chaos::FaultTargets {
   bool parallel() const { return parallel_ != nullptr; }
   sim::ParallelSimulator& parallel_sim() { return *parallel_; }
 
-  /// Engine-agnostic clock and run controls.
+  /// Engine-agnostic clock and run controls. With telemetry enabled,
+  /// RunFor/Run/RunUntil all stop at every telemetry window edge to
+  /// sample, so series and alerts accumulate live however the
+  /// experiment drives the clock.
   sim::Time Now() const {
     return serial_ ? serial_->Now() : parallel_->Now();
   }
-  void RunFor(sim::Duration d) {
-    serial_ ? serial_->RunFor(d) : parallel_->RunFor(d);
-  }
-  void Run() { serial_ ? serial_->Run() : parallel_->Run(); }
+  void RunFor(sim::Duration d);
+  void Run();
 
   /// Per-node schedulers: the serial engine for every node, or the
   /// node's shard handle under the parallel engine. Components built
@@ -182,6 +203,12 @@ class Cluster : public chaos::FaultTargets {
   /// The resource profiler (collecting only when ClusterConfig::profiling
   /// is set; empty otherwise).
   obs::Profiler& profiler() { return profiler_; }
+
+  /// The live telemetry collector, health monitor, and flight recorder.
+  /// Null unless the matching ClusterConfig knob is enabled.
+  obs::TimeSeriesCollector* telemetry() { return collector_.get(); }
+  obs::HealthMonitor* health() { return health_.get(); }
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
 
   /// Injects scheduled or Markov-sampled faults into this cluster.
   chaos::ChaosController& chaos() { return *chaos_; }
@@ -239,6 +266,9 @@ class Cluster : public chaos::FaultTargets {
   bool ClientUp(int index) const override {
     return clients_[index].node != nullptr && clients_[index].node->IsUp();
   }
+  std::string ClientNodeName(int index) const override {
+    return "client-" + std::to_string(clients_[index].config.client_id);
+  }
 
   /// Runs the engine until `fn` returns true or `timeout` elapses;
   /// returns whether the predicate held. With run_until_quantum == 0
@@ -273,7 +303,18 @@ class Cluster : public chaos::FaultTargets {
       const client::LogClientConfig& config, sim::Scheduler* sched);
   /// Earliest pending event across the engine (quiescent).
   sim::Time NextEventTime();
+  /// Advances the engine to `t`, sampling every telemetry window whose
+  /// edge is <= t at its exact edge (quiescent) on the way.
   void EngineRunUntil(sim::Time t);
+  /// The raw engine RunUntil, no telemetry stops.
+  void RawRunUntil(sim::Time t);
+  /// Samples the telemetry window ending at next_sample_ and evaluates
+  /// the health rules over it. Pre: the engine is quiescent at
+  /// Now() == next_sample_.
+  void SampleWindow();
+  /// Per-event Step() loops (serial, run_until_quantum == 0): closes
+  /// every window strictly before the next pending event.
+  void SampleWindowsBeforeStep();
   /// Places the next node (creation order) on a shard: a fresh shard
   /// every `nodes_per_shard` assignments, the current one otherwise.
   int AssignShard();
@@ -299,6 +340,14 @@ class Cluster : public chaos::FaultTargets {
   std::vector<std::unique_ptr<server::LogServer>> servers_;
   std::vector<ClientSlot> clients_;
   std::unique_ptr<chaos::ChaosController> chaos_;
+  /// Telemetry stack (see the matching ClusterConfig knobs). The
+  /// recorder is declared before the collector/monitor: spans flow into
+  /// it from the tracer for the cluster's whole lifetime.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::TimeSeriesCollector> collector_;
+  std::unique_ptr<obs::HealthMonitor> health_;
+  /// End of the next unsampled telemetry window.
+  sim::Time next_sample_ = 0;
   /// NodeId -> shard scheduler, for the networks' delivery routing
   /// (parallel engine only). Dense-indexed by node id (ids are small and
   /// contiguous): the router runs once per delivery, so the lookup must

@@ -1,0 +1,148 @@
+#include "obs/flight.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace dlog::obs {
+
+void FlightRecorder::Record(Span span) {
+  auto it = rings_.find(std::string_view(span.node));
+  if (it == rings_.end()) {
+    it = rings_.emplace(span.node, Ring{}).first;
+  }
+  Ring& ring = it->second;
+  ++ring.recorded;
+  if (config_.ring_spans == 0) return;
+  if (ring.slots.size() < config_.ring_spans) {
+    ring.slots.push_back(std::move(span));
+    ring.next = ring.slots.size() % config_.ring_spans;
+    return;
+  }
+  ring.slots[ring.next] = std::move(span);
+  ring.next = (ring.next + 1) % config_.ring_spans;
+}
+
+void FlightRecorder::Dump(std::string_view node, sim::Time at,
+                          std::string_view reason) {
+  DumpRecord dump;
+  dump.at = at;
+  dump.node = std::string(node);
+  dump.reason = std::string(reason);
+  auto it = rings_.find(node);
+  if (it != rings_.end()) {
+    const Ring& ring = it->second;
+    dump.spans_recorded = ring.recorded;
+    dump.spans.reserve(ring.slots.size());
+    // Chronological replay of the circular buffer: the slot at `next` is
+    // the oldest once the ring has wrapped.
+    const size_t n = ring.slots.size();
+    const size_t start = n < config_.ring_spans ? 0 : ring.next;
+    for (size_t i = 0; i < n; ++i) {
+      dump.spans.push_back(ring.slots[(start + i) % n]);
+    }
+  }
+  dumps_.push_back(std::move(dump));
+}
+
+size_t FlightRecorder::RingSize(std::string_view node) const {
+  auto it = rings_.find(node);
+  return it == rings_.end() ? 0 : it->second.slots.size();
+}
+
+void FlightRecorder::Clear() {
+  rings_.clear();
+  dumps_.clear();
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+void AppendSpanJson(std::string* out, const Span& span) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"trace\":%llu,\"id\":%llu,\"parent\":%llu,\"name\":\"",
+                static_cast<unsigned long long>(span.trace),
+                static_cast<unsigned long long>(span.id),
+                static_cast<unsigned long long>(span.parent));
+  *out += buf;
+  AppendEscaped(out, span.name);
+  *out += "\",\"node\":\"";
+  AppendEscaped(out, span.node);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"start\":%llu,\"end\":%llu,\"open\":%s,\"args\":[",
+                static_cast<unsigned long long>(span.start),
+                static_cast<unsigned long long>(span.end),
+                span.open ? "true" : "false");
+  *out += buf;
+  for (size_t i = 0; i < span.args.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    *out += "[\"";
+    AppendEscaped(out, span.args[i].first);
+    std::snprintf(buf, sizeof(buf), "\",%llu]",
+                  static_cast<unsigned long long>(span.args[i].second));
+    *out += buf;
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string FlightDumpsJson(const FlightRecorder& recorder) {
+  std::string out = "{\"dumps\":[";
+  char buf[96];
+  bool first_dump = true;
+  for (const FlightRecorder::DumpRecord& dump : recorder.dumps()) {
+    if (!first_dump) out.push_back(',');
+    first_dump = false;
+    out += "{\"at\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(dump.at));
+    out += buf;
+    out += ",\"node\":\"";
+    AppendEscaped(&out, dump.node);
+    out += "\",\"reason\":\"";
+    AppendEscaped(&out, dump.reason);
+    std::snprintf(buf, sizeof(buf), "\",\"spans_recorded\":%llu,\"spans\":[",
+                  static_cast<unsigned long long>(dump.spans_recorded));
+    out += buf;
+    for (size_t i = 0; i < dump.spans.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendSpanJson(&out, dump.spans[i]);
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string FlightDumpsText(const FlightRecorder& recorder) {
+  std::string out;
+  char buf[192];
+  for (const FlightRecorder::DumpRecord& dump : recorder.dumps()) {
+    std::snprintf(buf, sizeof(buf),
+                  "=== flight dump %s at %.6fs (%s): %zu of %llu spans\n",
+                  dump.node.c_str(), sim::DurationToSeconds(dump.at),
+                  dump.reason.c_str(), dump.spans.size(),
+                  static_cast<unsigned long long>(dump.spans_recorded));
+    out += buf;
+    for (const Span& span : dump.spans) {
+      std::snprintf(buf, sizeof(buf),
+                    "  [%.6fs +%.3fms] %s trace=%llu span=%llu\n",
+                    sim::DurationToSeconds(span.start),
+                    sim::DurationToSeconds(span.end - span.start) * 1e3,
+                    span.name.c_str(),
+                    static_cast<unsigned long long>(span.trace),
+                    static_cast<unsigned long long>(span.id));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace dlog::obs

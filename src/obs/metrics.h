@@ -35,6 +35,34 @@ struct MetricsSnapshot {
   std::string ToText() const;
 };
 
+/// What a registered metric is, for consumers (the telemetry collector)
+/// that enumerate the registry once and then read values through typed
+/// pointers instead of re-snapshotting string maps every window.
+enum class MetricKind {
+  kCounter,
+  kGauge,
+  kTimeWeightedGauge,
+  kHistogram,
+  kStreamingHistogram,
+  kCallback,
+};
+
+/// One enumerated registry entry. Exactly the pointer matching `kind` is
+/// set (callbacks are copied). The pointee is owned by the registered
+/// component; an entry is invalidated by any registration change, which
+/// bumps MetricsRegistry::version() — consumers cache entries per
+/// version.
+struct MetricRef {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  const sim::Counter* counter = nullptr;
+  const sim::Gauge* gauge = nullptr;
+  const sim::TimeWeightedGauge* tw_gauge = nullptr;
+  const sim::Histogram* histogram = nullptr;
+  const sim::StreamingHistogram* streaming = nullptr;
+  std::function<double()> callback;
+};
+
 /// One registry per experiment run, holding *references* to the metrics
 /// that live inside components, under hierarchical `node/component/name`
 /// keys (e.g. "server-2/log/records_written"). Components keep their
@@ -50,6 +78,10 @@ class MetricsRegistry {
 
   /// Registration. Names must be unique; re-registering a name replaces
   /// the old entry (a restarted component re-registers its counters).
+  /// Re-registering the identical (name, pointer) pair is an idempotent
+  /// no-op — it neither mutates the maps nor bumps version() — so a
+  /// component registering twice in one window (e.g. a client restarted
+  /// twice before the next telemetry sample) cannot churn consumers.
   /// The registry does not own the metric: the component must outlive it
   /// or call Unregister* first. Names pass as string_views (the key is
   /// materialized only on actual insertion; lookups and erasures are
@@ -60,6 +92,8 @@ class MetricsRegistry {
   void RegisterTimeWeightedGauge(std::string_view name,
                                  const sim::TimeWeightedGauge* g);
   void RegisterHistogram(std::string_view name, const sim::Histogram* h);
+  void RegisterStreamingHistogram(std::string_view name,
+                                  const sim::StreamingHistogram* h);
   /// Registers a pull-style metric: `fn` is invoked at Snapshot time.
   /// For values with no component object to point at — e.g. the
   /// process-wide dlog::BytesCopied() copy counter.
@@ -76,23 +110,45 @@ class MetricsRegistry {
   /// Registered metric names, sorted.
   std::vector<std::string> Names() const;
 
+  /// Every registered metric as a typed reference, sorted by name.
+  /// Valid until the next registration change (watch version()).
+  std::vector<MetricRef> Enumerate() const;
+
+  /// Bumped by every registration change (registering a new name,
+  /// replacing an entry with a different pointer/kind, unregistering).
+  /// Idempotent re-registration of the identical entry does not bump it.
+  /// Consumers re-Enumerate when the version moves; reading it at a
+  /// quiescent engine point is deterministic (the count of changes is a
+  /// pure function of the executed event set).
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + tw_gauges_.size() +
-           histograms_.size() + callbacks_.size();
+           histograms_.size() + streaming_.size() + callbacks_.size();
   }
 
  private:
   /// (Un)registration can race under the parallel engine: two clients
   /// restarting in the same window re-register from different shard
-  /// threads. Map order keeps enumeration deterministic regardless.
+  /// threads. The mutex serializes the map mutations, map order keeps
+  /// enumeration deterministic regardless of arrival order, and
+  /// idempotent re-registration (see Register*) keeps version() a pure
+  /// function of the set of (name, pointer) changes rather than of the
+  /// interleaving.
   mutable std::mutex mu_;
+  uint64_t version_ = 0;
   // std::less<> enables transparent string_view lookup/erasure.
   std::map<std::string, const sim::Counter*, std::less<>> counters_;
   std::map<std::string, const sim::Gauge*, std::less<>> gauges_;
   std::map<std::string, const sim::TimeWeightedGauge*, std::less<>>
       tw_gauges_;
   std::map<std::string, const sim::Histogram*, std::less<>> histograms_;
+  std::map<std::string, const sim::StreamingHistogram*, std::less<>>
+      streaming_;
   std::map<std::string, std::function<double()>, std::less<>> callbacks_;
 };
 

@@ -1,0 +1,401 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+namespace dlog::obs {
+
+Status TimeSeriesConfig::Validate() const {
+  if (!enabled) return Status::OK();
+  if (interval <= 0) {
+    return Status::InvalidArgument("telemetry interval must be > 0");
+  }
+  if (retention_windows < 1) {
+    return Status::InvalidArgument("retention_windows must be >= 1");
+  }
+  if (aggregate_streaming.size() > 32) {
+    return Status::InvalidArgument(
+        "at most 32 aggregate_streaming suffixes");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+TimeSeriesCollector::TimeSeriesCollector(const TimeSeriesConfig& config,
+                                         MetricsRegistry* registry)
+    : config_(config), registry_(registry) {
+  DLOG_CHECK_OK(config.Validate());
+}
+
+void TimeSeriesCollector::Push(const std::string& key, SeriesKind kind,
+                               double value) {
+  PushTo(EnsureSeries(key, kind), value);
+}
+
+void TimeSeriesCollector::PushTo(SeriesData* s, double value) {
+  if (s->count == 0) s->first_window = windows_;
+  // Gap-fill every window the source skipped (idle windows are not
+  // pushed; see the class comment on sparsity): rates/quantiles with
+  // zeros, levels with the held previous level.
+  if (s->first_window + s->count < windows_) {
+    const size_t retention =
+        static_cast<size_t>(config_.retention_windows);
+    const double gap =
+        s->kind == SeriesKind::kLevel && s->count > 0
+            ? s->values[(s->count - 1) % retention]
+            : 0.0;
+    while (s->first_window + s->count < windows_) Append(s, gap);
+  }
+  Append(s, value);
+}
+
+void TimeSeriesCollector::Append(SeriesData* s, double value) {
+  const size_t retention = static_cast<size_t>(config_.retention_windows);
+  if (s->values.size() < retention) {
+    s->values.push_back(value);
+  } else {
+    s->values[s->count % retention] = value;
+  }
+  ++s->count;
+}
+
+TimeSeriesCollector::SeriesData* TimeSeriesCollector::EnsureSeries(
+    const std::string& key, SeriesKind kind) {
+  auto [it, inserted] = series_index_.try_emplace(key, series_store_.size());
+  if (inserted) series_store_.emplace_back();
+  SeriesData& s = series_store_[it->second];
+  if (s.count == 0) s.kind = kind;
+  return &s;
+}
+
+double* TimeSeriesCollector::EnsurePrevValue(const std::string& key) {
+  auto [it, inserted] =
+      prev_value_index_.try_emplace(key, prev_value_store_.size());
+  if (inserted) prev_value_store_.push_back(0.0);
+  return &prev_value_store_[it->second];
+}
+
+TimeSeriesCollector::StreamPrev* TimeSeriesCollector::EnsurePrevStream(
+    const std::string& key) {
+  auto [it, inserted] =
+      prev_stream_index_.try_emplace(key, prev_stream_store_.size());
+  if (inserted) prev_stream_store_.emplace_back();
+  return &prev_stream_store_[it->second];
+}
+
+void TimeSeriesCollector::Rebuild() {
+  refs_ = registry_->Enumerate();
+  if (aggregates_.empty()) {
+    for (const std::string& suffix : config_.aggregate_streaming) {
+      Aggregate agg;
+      agg.suffix = suffix;
+      const std::string base = "cluster/" + suffix;
+      agg.p50 = EnsureSeries(base + "/p50", SeriesKind::kQuantile);
+      agg.p99 = EnsureSeries(base + "/p99", SeriesKind::kQuantile);
+      agg.cnt = EnsureSeries(base + "/count", SeriesKind::kRate);
+      aggregates_.push_back(std::move(agg));
+    }
+  }
+  counter_slots_.clear();
+  gauge_slots_.clear();
+  tw_slots_.clear();
+  callback_slots_.clear();
+  stream_slots_.clear();
+  for (MetricRef& ref : refs_) {
+    bool excluded = false;
+    for (const std::string& prefix : config_.exclude_prefixes) {
+      if (ref.name.compare(0, prefix.size(), prefix) == 0) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) continue;
+    switch (ref.kind) {
+      case MetricKind::kCounter:
+        counter_slots_.push_back({ref.counter,
+                                  EnsurePrevValue(ref.name),
+                                  EnsureSeries(ref.name, SeriesKind::kRate)});
+        break;
+      case MetricKind::kGauge:
+        gauge_slots_.push_back(
+            {ref.gauge, EnsurePrevValue(ref.name),
+             EnsureSeries(ref.name, SeriesKind::kLevel)});
+        break;
+      case MetricKind::kTimeWeightedGauge:
+        tw_slots_.push_back(
+            {ref.tw_gauge, EnsurePrevValue(ref.name),
+             EnsureSeries(ref.name, SeriesKind::kLevel)});
+        break;
+      case MetricKind::kCallback:
+        callback_slots_.push_back(
+            {&ref.callback, EnsurePrevValue(ref.name),
+             EnsureSeries(ref.name, SeriesKind::kLevel)});
+        break;
+      case MetricKind::kHistogram:
+        // Exact sample-retaining histograms are end-of-run artifacts;
+        // their windowed counterpart is the streaming histogram.
+        break;
+      case MetricKind::kStreamingHistogram: {
+        StreamSlot slot;
+        slot.src = ref.streaming;
+        slot.prev = EnsurePrevStream(ref.name);
+        slot.p50 = EnsureSeries(ref.name + "/p50", SeriesKind::kQuantile);
+        slot.p99 = EnsureSeries(ref.name + "/p99", SeriesKind::kQuantile);
+        slot.cnt = EnsureSeries(ref.name + "/count", SeriesKind::kRate);
+        slot.agg_mask = 0;
+        for (size_t a = 0; a < aggregates_.size(); ++a) {
+          if (EndsWith(ref.name, aggregates_[a].suffix)) {
+            slot.agg_mask |= uint32_t{1} << a;
+          }
+        }
+        stream_slots_.push_back(slot);
+        break;
+      }
+    }
+  }
+}
+
+void TimeSeriesCollector::Sample(sim::Time window_end) {
+  ++windows_;
+  const uint64_t version = registry_->version();
+  if (version != synced_version_) {
+    Rebuild();
+    synced_version_ = version;
+  }
+  const size_t n = sim::StreamingHistogram::kNumBuckets;
+  for (Aggregate& agg : aggregates_) {
+    if (agg.buckets.size() != n) {
+      agg.buckets.assign(n, 0);
+    } else {
+      // Only last window's occupied range is dirty.
+      for (size_t b = agg.lo; b <= agg.hi && b < n; ++b) agg.buckets[b] = 0;
+    }
+    agg.count = 0;
+    agg.lo = n;
+    agg.hi = 0;
+  }
+  for (CounterSlot& slot : counter_slots_) {
+    const double v = static_cast<double>(slot.src->value());
+    // Unchanged counter: the window delta is zero, which is exactly
+    // what a skipped window gap-fills, so don't push at all.
+    if (v == *slot.prev) continue;
+    // A freshly restarted component re-registers a zeroed counter under
+    // the same name; a reading below the previous one means reset, and
+    // the window delta is the new absolute value.
+    const double delta = v >= *slot.prev ? v - *slot.prev : v;
+    *slot.prev = v;
+    PushTo(slot.out, delta);
+  }
+  // Levels are sample-and-hold: an unchanged reading means "still the
+  // previous level", exactly what the gap-fill reconstructs, so only
+  // changes are pushed.
+  for (GaugeSlot& slot : gauge_slots_) {
+    const double v = static_cast<double>(slot.src->value());
+    if (v == *slot.prev) continue;
+    *slot.prev = v;
+    PushTo(slot.out, v);
+  }
+  for (TwGaugeSlot& slot : tw_slots_) {
+    const double v = slot.src->value();
+    if (v == *slot.prev) continue;
+    *slot.prev = v;
+    PushTo(slot.out, v);
+  }
+  for (CallbackSlot& slot : callback_slots_) {
+    const double v = (*slot.fn)();
+    if (v == *slot.prev) continue;
+    *slot.prev = v;
+    PushTo(slot.out, v);
+  }
+  for (StreamSlot& slot : stream_slots_) {
+    const uint64_t ccount = slot.src->count();
+    StreamPrev& prev = *slot.prev;
+    // Untouched stream: count (and so every bucket) matches the
+    // previous snapshot — the window's distribution is empty, and the
+    // p50/p99/count pushes would all be the gap-fill zero.
+    if (ccount == prev.count) continue;
+    const std::vector<uint32_t>& cur = slot.src->buckets();
+    // Occupied range: within one life, counts only grow, so the
+    // previous snapshot's occupied range is contained in this one —
+    // scanning [lo, hi] covers every bucket that can have a delta.
+    const size_t lo = slot.src->bucket_lo();
+    const size_t hi = slot.src->bucket_hi();
+    if (delta_scratch_.size() != n) delta_scratch_.assign(n, 0);
+    if (prev.buckets.size() != n) prev.buckets.assign(n, 0);
+    uint64_t dcount;
+    if (ccount < prev.count) {
+      // Reset (restart): the whole current contents are this window,
+      // and the stale previous snapshot is replaced outright — a
+      // leftover count outside the new life's range would otherwise
+      // distort deltas if the new histogram grows into it.
+      dcount = ccount;
+      std::fill(prev.buckets.begin(), prev.buckets.end(), 0);
+      for (size_t b = lo; b <= hi; ++b) delta_scratch_[b] = cur[b];
+    } else {
+      dcount = ccount - prev.count;
+      for (size_t b = lo; b <= hi; ++b) {
+        delta_scratch_[b] = cur[b] - prev.buckets[b];
+      }
+    }
+    for (size_t b = lo; b <= hi; ++b) prev.buckets[b] = cur[b];
+    prev.count = ccount;
+    PushTo(slot.p50,
+           sim::StreamingHistogram::PercentileFromCounts(
+               delta_scratch_.data(), n, dcount, 0.5, lo));
+    PushTo(slot.p99,
+           sim::StreamingHistogram::PercentileFromCounts(
+               delta_scratch_.data(), n, dcount, 0.99, lo));
+    PushTo(slot.cnt, static_cast<double>(dcount));
+    for (uint32_t mask = slot.agg_mask; mask != 0; mask &= mask - 1) {
+      Aggregate& agg =
+          aggregates_[static_cast<size_t>(std::countr_zero(mask))];
+      for (size_t b = lo; b <= hi; ++b) {
+        const uint64_t sum =
+            static_cast<uint64_t>(agg.buckets[b]) + delta_scratch_[b];
+        agg.buckets[b] =
+            sum > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(sum);
+      }
+      agg.count += dcount;
+      if (lo < agg.lo) agg.lo = lo;
+      if (hi > agg.hi && lo <= hi) agg.hi = hi;
+    }
+    // Restore the all-zero scratch invariant for the next stream.
+    for (size_t b = lo; b <= hi; ++b) delta_scratch_[b] = 0;
+  }
+  // The cluster aggregates stay dense (pushed every window, active or
+  // not): they are few, and the health rules' denominators read them.
+  for (Aggregate& agg : aggregates_) {
+    PushTo(agg.p50, sim::StreamingHistogram::PercentileFromCounts(
+                        agg.buckets.data(), n, agg.count, 0.5, agg.lo));
+    PushTo(agg.p99, sim::StreamingHistogram::PercentileFromCounts(
+                        agg.buckets.data(), n, agg.count, 0.99, agg.lo));
+    PushTo(agg.cnt, static_cast<double>(agg.count));
+  }
+  if (profiler_ != nullptr) {
+    for (const auto& [resource, timeline] : profiler_->timelines()) {
+      Push(resource + "/util_exact", SeriesKind::kLevel,
+           timeline.Utilization(last_sample_time_, window_end));
+    }
+  }
+  last_sample_time_ = window_end;
+}
+
+double TimeSeriesCollector::At(std::string_view key, uint64_t window,
+                               double fallback) const {
+  auto it = series_index_.find(key);
+  if (it == series_index_.end()) return fallback;
+  const SeriesData& s = series_store_[it->second];
+  if (s.count == 0 || window < s.first_window) return fallback;
+  uint64_t p = window - s.first_window;
+  if (p >= s.count) {
+    // Past the last sampled change: levels hold, rates/quantiles were
+    // skipped as implicit zeros.
+    if (s.kind != SeriesKind::kLevel) return fallback;
+    p = s.count - 1;
+  }
+  const uint64_t retention =
+      static_cast<uint64_t>(config_.retention_windows);
+  if (s.count > retention && p < s.count - retention) return fallback;
+  return s.values[p % retention];
+}
+
+double TimeSeriesCollector::Latest(std::string_view key,
+                                   double fallback) const {
+  auto it = series_index_.find(key);
+  if (it == series_index_.end()) return fallback;
+  const SeriesData& s = series_store_[it->second];
+  if (s.count == 0) return fallback;
+  return At(key, s.first_window + s.count - 1, fallback);
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+const char* KindName(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kRate:
+      return "rate";
+    case SeriesKind::kLevel:
+      return "level";
+    case SeriesKind::kQuantile:
+      return "quantile";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TimeSeriesJson(const TimeSeriesCollector& collector) {
+  std::string out = "{\"interval_ns\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(collector.interval()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"windows\":%llu",
+                static_cast<unsigned long long>(collector.windows()));
+  out += buf;
+  out += ",\"series\":{";
+  const uint64_t retention =
+      static_cast<uint64_t>(collector.config().retention_windows);
+  bool first = true;
+  for (const auto& [name, index] : collector.series_index()) {
+    const TimeSeriesCollector::SeriesData& s = collector.series_at(index);
+    if (s.count == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out += name;  // metric names contain no JSON-special characters
+    out += "\":{\"kind\":\"";
+    out += KindName(s.kind);
+    const uint64_t retained = s.count < retention ? s.count : retention;
+    const uint64_t start = s.count - retained;  // 0-based position
+    std::snprintf(buf, sizeof(buf), "\",\"first_window\":%llu,\"values\":[",
+                  static_cast<unsigned long long>(s.first_window + start));
+    out += buf;
+    for (uint64_t p = start; p < s.count; ++p) {
+      if (p > start) out.push_back(',');
+      AppendDouble(&out, s.values[p % retention]);
+    }
+    out += "]}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string TimeSeriesCsv(const TimeSeriesCollector& collector) {
+  std::string out = "window,key,value\n";
+  const uint64_t retention =
+      static_cast<uint64_t>(collector.config().retention_windows);
+  char buf[40];
+  for (const auto& [name, index] : collector.series_index()) {
+    const TimeSeriesCollector::SeriesData& s = collector.series_at(index);
+    const uint64_t retained = s.count < retention ? s.count : retention;
+    for (uint64_t p = s.count - retained; p < s.count; ++p) {
+      std::snprintf(buf, sizeof(buf), "%llu,",
+                    static_cast<unsigned long long>(s.first_window + p));
+      out += buf;
+      out += name;
+      out.push_back(',');
+      AppendDouble(&out, s.values[p % retention]);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace dlog::obs

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/flight.h"
+
 namespace dlog::obs {
 
 // Span ids are minted only when a span is recorded, so id k always sits
@@ -9,22 +11,42 @@ Span* Tracer::Find(SpanId id) {
   return &spans_[id - 1];
 }
 
+void Tracer::SetFlightRecorder(FlightRecorder* recorder) {
+  recorder_ = recorder;
+}
+
+SpanContext Tracer::Admit(Span span) {
+  const SpanContext ctx{span.trace, span.id};
+  if (enabled_) {
+    spans_.push_back(std::move(span));
+    return ctx;
+  }
+  // Ring mode: hold the open span aside until EndSpan routes it into the
+  // recorder. Evict the oldest past the bound — a span whose packet the
+  // network dropped never closes and must not leak.
+  if (!open_spans_.empty() &&
+      open_spans_.size() >= recorder_->config().max_open_spans) {
+    open_spans_.erase(open_spans_.begin());
+  }
+  open_spans_.emplace(ctx.span, std::move(span));
+  return ctx;
+}
+
 SpanContext Tracer::StartTrace(std::string_view name,
                                std::string_view node) {
-  if (!enabled_) return {};
+  if (!active()) return {};
   Span span;
   span.trace = next_trace_++;
   span.id = next_span_++;
   span.name = std::string(name);
   span.node = std::string(node);
   span.start = sim_->Now();
-  spans_.push_back(std::move(span));
-  return {spans_.back().trace, spans_.back().id};
+  return Admit(std::move(span));
 }
 
 SpanContext Tracer::StartSpan(std::string_view name,
                               std::string_view node, SpanContext parent) {
-  if (!enabled_ || !parent.valid()) return {};
+  if (!active() || !parent.valid()) return {};
   Span span;
   span.trace = parent.trace;
   span.id = next_span_++;
@@ -32,8 +54,7 @@ SpanContext Tracer::StartSpan(std::string_view name,
   span.name = std::string(name);
   span.node = std::string(node);
   span.start = sim_->Now();
-  spans_.push_back(std::move(span));
-  return {parent.trace, spans_.back().id};
+  return Admit(std::move(span));
 }
 
 SpanContext Tracer::Instant(std::string_view name, std::string_view node,
@@ -46,20 +67,39 @@ SpanContext Tracer::Instant(std::string_view name, std::string_view node,
 void Tracer::AddArg(SpanContext ctx, std::string_view key,
                     uint64_t value) {
   if (!ctx.valid()) return;
-  Span* span = Find(ctx.span);
-  if (span != nullptr) span->args.emplace_back(key, value);
+  if (enabled_) {
+    Span* span = Find(ctx.span);
+    if (span != nullptr) span->args.emplace_back(key, value);
+    return;
+  }
+  auto it = open_spans_.find(ctx.span);
+  if (it != open_spans_.end()) it->second.args.emplace_back(key, value);
 }
 
 void Tracer::EndSpan(SpanContext ctx) {
   if (!ctx.valid()) return;
-  Span* span = Find(ctx.span);
-  if (span == nullptr || !span->open) return;
-  span->end = sim_->Now();
-  span->open = false;
+  if (enabled_) {
+    Span* span = Find(ctx.span);
+    if (span == nullptr || !span->open) return;
+    span->end = sim_->Now();
+    span->open = false;
+    // Full tracing with a recorder attached still feeds the rings, so
+    // crash dumps work in traced runs too.
+    if (recorder_ != nullptr) recorder_->Record(*span);
+    return;
+  }
+  auto it = open_spans_.find(ctx.span);
+  if (it == open_spans_.end()) return;  // closed already, or evicted
+  Span span = std::move(it->second);
+  open_spans_.erase(it);
+  span.end = sim_->Now();
+  span.open = false;
+  recorder_->Record(std::move(span));
 }
 
 void Tracer::Clear() {
   spans_.clear();
+  open_spans_.clear();
   context_stack_.clear();
   next_trace_ = 1;
   next_span_ = 1;

@@ -2,6 +2,7 @@
 #define DLOG_OBS_TRACE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -11,6 +12,8 @@
 #include "sim/time.h"
 
 namespace dlog::obs {
+
+class FlightRecorder;
 
 /// Identifies one causal tree of spans (normally: one transaction).
 using TraceId = uint64_t;
@@ -65,6 +68,19 @@ class Tracer {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  /// Attaches a flight recorder. Completed spans are forwarded to it;
+  /// with tracing otherwise *disabled* the tracer runs in "ring mode":
+  /// spans are recorded and routed to the recorder but never retained in
+  /// spans_ — memory stays bounded by the recorder's rings however long
+  /// the run. Open spans wait in a bounded side map until they close
+  /// (kept per Span::node count-agnostic; the oldest are evicted past
+  /// FlightRecorderConfig::max_open_spans). Only flipped while quiescent,
+  /// like set_enabled.
+  void SetFlightRecorder(FlightRecorder* recorder);
+
+  /// Recording anything at all (fully or into flight rings)?
+  bool active() const { return enabled_ || recorder_ != nullptr; }
+
   // Names and nodes pass as string_views: a call site handing over a
   // literal (or a cached per-node name) materializes a std::string only
   // inside an *enabled* tracer — the disabled hot path allocates
@@ -92,17 +108,18 @@ class Tracer {
   void EndSpan(SpanContext ctx);
 
   // --- Context stack (single-threaded scoped propagation) ---
-  // Disabled, these are no-ops rather than pushes of the invalid context
+  // Inactive, these are no-ops rather than pushes of the invalid context
   // Start* returned: Current() reads identically (invalid either way),
   // and — essential under the parallel engine, where one disabled Tracer
   // is shared by every shard — the stack is never touched from worker
-  // threads. Toggling set_enabled() with scopes open would unbalance the
-  // stack; it is only flipped while quiescent (cluster construction).
+  // threads (ring mode is serial-only, so its pushes are too). Toggling
+  // set_enabled() with scopes open would unbalance the stack; it is only
+  // flipped while quiescent (cluster construction).
   void PushContext(SpanContext ctx) {
-    if (enabled_) context_stack_.push_back(ctx);
+    if (active()) context_stack_.push_back(ctx);
   }
   void PopContext() {
-    if (enabled_ && !context_stack_.empty()) context_stack_.pop_back();
+    if (active() && !context_stack_.empty()) context_stack_.pop_back();
   }
   /// The innermost pushed context; invalid when the stack is empty.
   SpanContext Current() const {
@@ -134,12 +151,20 @@ class Tracer {
 
  private:
   Span* Find(SpanId id);
+  /// Files a freshly started span in spans_ (enabled) or the open-span
+  /// side map (ring mode), returning its context.
+  SpanContext Admit(Span span);
 
   sim::Scheduler* sim_;
   bool enabled_ = true;
+  FlightRecorder* recorder_ = nullptr;
   TraceId next_trace_ = 1;
   SpanId next_span_ = 1;
   std::vector<Span> spans_;
+  /// Ring mode only: spans started but not yet ended, keyed by id.
+  /// Ordered map: ids are minted monotonically, so begin() is always the
+  /// oldest — eviction past max_open_spans is deterministic.
+  std::map<SpanId, Span> open_spans_;
   std::vector<SpanContext> context_stack_;
 };
 

@@ -79,6 +79,10 @@ void LogServer::RegisterMetrics(obs::MetricsRegistry* registry) const {
   registry->RegisterCounter(prefix + "read_rpcs", &read_rpcs_);
   registry->RegisterCounter(prefix + "records_truncated",
                             &records_truncated_);
+  // Cumulative CPU busy time: windowed telemetry diffs this per sampling
+  // window into a per-server utilization series — the online imbalance
+  // signal (deterministic on any engine, unlike the profiler's probes).
+  registry->RegisterCounter(node + "/cpu/busy_ns", &cpu_->busy_ns());
   registry->RegisterTimeWeightedGauge(node + "/nvram/occupancy_bytes",
                                       &nvram_occupancy_);
   admission_.RegisterMetrics(registry, node + "/flow/");

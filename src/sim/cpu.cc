@@ -22,6 +22,7 @@ void Cpu::Execute(uint64_t instructions, Callback done) {
   const Time start = std::max(sim_->Now(), free_at_);
   free_at_ = start + service;
   busy_time_ += service;
+  busy_ns_.Increment(service);
   if (busy_probe_ && service > 0) busy_probe_(start, free_at_);
   if (done) {
     sim_->At(free_at_, std::move(done));

@@ -7,6 +7,7 @@
 
 #include "sim/callback.h"
 #include "sim/scheduler.h"
+#include "sim/stats.h"
 #include "sim/time.h"
 
 namespace dlog::sim {
@@ -35,6 +36,15 @@ class Cpu {
   /// Time the CPU has spent busy since construction (or last ResetStats).
   Duration busy_time() const { return busy_time_; }
 
+  /// Cumulative busy nanoseconds since construction as a registrable
+  /// counter: never reset, bumped at submission time by the full service
+  /// time of the queued work. Increments happen while the submitting
+  /// event executes, so reading it at a quiescent point is deterministic
+  /// under any engine — the utilization signal windowed telemetry diffs
+  /// per sampling window (unlike the profiler's probe stream, which the
+  /// parallel engine rejects).
+  const Counter& busy_ns() const { return busy_ns_; }
+
   /// Busy fraction over the window since the last ResetStats() call.
   double Utilization() const;
 
@@ -61,6 +71,7 @@ class Cpu {
   std::string name_;
   Time free_at_ = 0;        // when previously queued work completes
   Duration busy_time_ = 0;  // total busy time in the current window
+  Counter busy_ns_;         // total busy time ever (see busy_ns())
   Time window_start_ = 0;
   BusyProbe busy_probe_;
 };

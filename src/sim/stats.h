@@ -32,7 +32,7 @@ class Histogram {
   double Percentile(double q) const;
 
   /// Folds `other`'s samples into this histogram (per-node -> cluster
-  /// aggregation).
+  /// aggregation). Merging a histogram into itself doubles every sample.
   void Merge(const Histogram& other);
 
   /// "n=… mean=… p50=… p95=… max=…" one-line summary.
@@ -48,6 +48,81 @@ class Histogram {
 
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+};
+
+/// A log-linear bucketed histogram (HDR style): each power-of-two major
+/// bucket is split into 2^kSubBits linear sub-buckets, bounding relative
+/// quantile error at 1/2^kSubBits (6.25%) while storing counts only —
+/// no samples are retained, so a long run's latency distribution costs a
+/// few KB however many values it records. This is what lets windowed
+/// telemetry carry per-window quantiles: a window's distribution is the
+/// bucket-count delta between two readings, something the exact
+/// (sample-retaining) Histogram cannot provide without unbounded memory.
+///
+/// Values are non-negative integers (callers pick the unit, e.g.
+/// microseconds); values above kMaxValue saturate into the top bucket
+/// (the exact min/max are tracked separately and quantile readouts clamp
+/// to them). Deterministic: bucket counts and quantiles are pure
+/// functions of the recorded multiset.
+class StreamingHistogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBits;  // 16
+  /// ~18 minutes in nanoseconds / ~13 days in microseconds: anything
+  /// larger is "off the chart" and saturates.
+  static constexpr uint64_t kMaxValue = uint64_t{1} << 40;
+  static constexpr size_t kNumBuckets = 593;  // BucketIndex(kMaxValue) + 1
+
+  void Record(uint64_t value, uint64_t count = 1);
+
+  uint64_t count() const { return count_; }
+  /// Exact extremes of everything recorded (0 when empty). max() is the
+  /// unclamped value even when it saturated the top bucket.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+
+  /// q in [0,1]. Linearly interpolates inside the landing bucket and
+  /// clamps to the exact [min, max], so single-sample and saturated-top
+  /// readouts are exact. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// Adds `other`'s counts into this histogram. Self-merge doubles every
+  /// count.
+  void Merge(const StreamingHistogram& other);
+
+  void Clear();
+
+  /// Bucket counts, dense-indexed; empty until the first Record. The
+  /// telemetry collector snapshots these and diffs snapshots to get
+  /// per-window distributions.
+  const std::vector<uint32_t>& buckets() const { return buckets_; }
+
+  /// Dense-index bounds of the occupied buckets, [bucket_lo, bucket_hi]
+  /// inclusive; bucket_lo > bucket_hi when empty. Latency streams occupy
+  /// a few dozen of the 593 buckets, so per-window consumers (the
+  /// telemetry collector diffs every stream every window) iterate this
+  /// range instead of the whole array.
+  size_t bucket_lo() const { return bucket_lo_; }
+  size_t bucket_hi() const { return bucket_hi_; }
+
+  static size_t BucketIndex(uint64_t value);
+  /// Smallest / largest (inclusive) value mapping to bucket `index`.
+  static uint64_t BucketLow(size_t index);
+  static uint64_t BucketHigh(size_t index);
+  /// Quantile over a raw bucket-count vector (e.g. a window delta the
+  /// collector computed); `total` must be the sum of counts[0..n).
+  /// `start` is a scan hint: counts[0..start) must be all zero.
+  static double PercentileFromCounts(const uint32_t* counts, size_t n,
+                                     uint64_t total, double q,
+                                     size_t start = 0);
+
+ private:
+  std::vector<uint32_t> buckets_;  // lazily sized to kNumBuckets
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  size_t bucket_lo_ = kNumBuckets;  // empty: lo > hi
+  size_t bucket_hi_ = 0;
 };
 
 /// A monotonically increasing event counter with a named meaning

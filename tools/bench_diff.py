@@ -16,6 +16,14 @@ A relative change beyond --threshold in the bad direction for any key
 metric on any matched row makes the exit status nonzero, which is what
 lets CI gate a perf-smoke run against a committed baseline.
 
+Per-window time-series metrics ("w<N>/<series>", emitted by benches
+that export telemetry windows, e.g. E18's w12/imbalance_cv) are always
+informational: they are collapsed into one summary line per series
+(windows compared, how many differ, the largest change) rather than
+printed per window, and declaring one as a --key is an error — window
+values are exact-determinism artifacts gated by byte comparison (cmp)
+in CI, not tolerance-threshold metrics.
+
     bench_diff.py baseline.json current.json \
         --threshold 0.10 --key tps:higher --key force_p95_ms:lower
 
@@ -26,7 +34,11 @@ itself is exercised in CI without needing two real runs.
 
 import argparse
 import json
+import re
 import sys
+
+# "w12/imbalance_cv" -> per-window series sample; never a gate key.
+WINDOW_KEY = re.compile(r"^w(\d+)/(.+)$")
 
 
 def load_rows(path):
@@ -47,8 +59,36 @@ def parse_keys(specs):
         if not sep or direction not in ("higher", "lower"):
             raise SystemExit(
                 f"bad --key {spec!r}: expected <metric>:higher|lower")
+        if WINDOW_KEY.match(name):
+            raise SystemExit(
+                f"bad --key {spec!r}: per-window series are informational "
+                "(gate them with a byte comparison, not a threshold)")
         keys.append((name, direction))
     return keys
+
+
+def window_summary(base_metrics, cur_metrics, out):
+    """One line per w<N>/<series> family: windows compared, diffs, max."""
+    families = {}
+    for name, base in base_metrics.items():
+        m = WINDOW_KEY.match(name)
+        if not m or name not in cur_metrics:
+            continue
+        window, series = int(m.group(1)), m.group(2)
+        families.setdefault(series, []).append(
+            (window, base, cur_metrics[name]))
+    for series in sorted(families):
+        samples = sorted(families[series])
+        differing = [(w, b, c) for w, b, c in samples if b != c]
+        label = f"w*/{series}"
+        if not differing:
+            print(f"  {label:32s} {len(samples)} windows identical",
+                  file=out)
+            continue
+        worst = max(differing, key=lambda s: abs(s[2] - s[1]))
+        print(f"  {label:32s} {len(differing)}/{len(samples)} windows "
+              f"differ (max at w{worst[0]}: {worst[1]:g} -> {worst[2]:g})",
+              file=out)
 
 
 def relative_change(base, cur):
@@ -82,6 +122,7 @@ def diff(base_rows, cur_rows, keys, threshold, out=sys.stdout):
                     f"({change:+.1%}, allowed {direction})")
             print(f"  {name:32s} {base:12g} -> {cur:12g} "
                   f"({change:+.1%}){marker}", file=out)
+        window_summary(base_metrics, cur_metrics, out)
     return regressions
 
 
@@ -110,6 +151,23 @@ def self_test():
     assert not diff(base, util, keys, 0.10, sink)
     # A dropped row is a regression.
     assert diff(base, {}, keys, 0.10, sink)
+    # Per-window series never gate, however far they move.
+    winbase = {"row": {"tps": 100.0, "w1/cv": 0.1, "w2/cv": 0.1}}
+    wincur = {"row": {"tps": 100.0, "w1/cv": 9.0, "w2/cv": 0.1}}
+    assert not diff(winbase, wincur, keys, 0.10, sink)
+    # ... and declaring one as a gate key is rejected.
+    try:
+        parse_keys(["w1/cv:lower"])
+        raise AssertionError("window key accepted as gate")
+    except SystemExit:
+        pass
+    # The summary collapses a family into one line and flags the worst
+    # differing window.
+    import io
+    buf = io.StringIO()
+    window_summary(winbase["row"], wincur["row"], buf)
+    assert "1/2 windows differ" in buf.getvalue()
+    assert "w1: 0.1 -> 9" in buf.getvalue()
     print("bench_diff self-test passed")
 
 
